@@ -1,0 +1,24 @@
+//! Shared Criterion configuration for the experiment benches: short
+//! measurement windows (each iteration is a full simulation run) and the
+//! quick run settings.
+
+use criterion::Criterion;
+use tpsim_bench::RunSettings;
+
+/// Criterion instance tuned for whole-simulation iterations.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+/// Quick run settings shared by all experiment benches.
+#[allow(dead_code)] // not every bench needs full run settings
+pub fn settings() -> RunSettings {
+    let mut s = RunSettings::quick();
+    // Benches iterate the same point many times; keep each run short and
+    // single-threaded so Criterion's timings are meaningful.
+    s.parallel = false;
+    s
+}

@@ -1,0 +1,27 @@
+//! Fig. 4.2 — impact of the database allocation (Debit-Credit, NOFORCE).
+
+mod common;
+
+use criterion::{black_box, Criterion};
+use tpsim::presets::DebitCreditStorage;
+use tpsim_bench::runner::{fig4_2_point, run_debit_credit};
+
+fn bench(c: &mut Criterion) {
+    let settings = common::settings();
+    let mut group = c.benchmark_group("fig4_2_db_allocation");
+    for storage in DebitCreditStorage::ALL {
+        group.bench_function(storage.label(), |b| {
+            b.iter(|| {
+                let report = run_debit_credit(&settings, fig4_2_point(storage, 200.0));
+                black_box(report.response_time.mean)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,40 @@
+//! Fig. 4.3 — FORCE vs NOFORCE update strategy (Debit-Credit).
+
+mod common;
+
+use criterion::{black_box, Criterion};
+use tpsim::presets::DebitCreditStorage;
+use tpsim_bench::runner::{fig4_3_point, run_debit_credit};
+
+fn bench(c: &mut Criterion) {
+    let settings = common::settings();
+    let mut group = c.benchmark_group("fig4_3_force_noforce");
+    let storages = [
+        DebitCreditStorage::Disk,
+        DebitCreditStorage::DiskWithNvCacheWriteBuffer,
+        DebitCreditStorage::NvemResident,
+    ];
+    for storage in storages {
+        for force in [true, false] {
+            let name = format!(
+                "{}/{}",
+                if force { "FORCE" } else { "NOFORCE" },
+                storage.label()
+            );
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    let report =
+                        run_debit_credit(&settings, fig4_3_point(storage, force, 150.0));
+                    black_box(report.response_time.mean)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,59 @@
+//! Table 2.1 — device access times of the extended storage hierarchy.
+//!
+//! This bench measures the *simulated device models* directly (a microbench of
+//! the storage substrate): the time to decide and account one page access for
+//! each storage type, and the single-access latencies the models produce
+//! (which reproduce the table's ordering: extended memory ≪ SSD/disk cache ≪
+//! disk).
+
+mod common;
+
+use criterion::{black_box, Criterion};
+use dbmodel::PageId;
+use storage::{DiskUnit, DiskUnitKind, DiskUnitParams, IoKind, NvemParams};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_1_device_latency");
+
+    // Report the modelled latencies once (they are deterministic).
+    let nvem = NvemParams::default();
+    let ssd = DiskUnitParams::database_disks(DiskUnitKind::Ssd, 1, 1);
+    let disk = DiskUnitParams::database_disks(DiskUnitKind::Regular, 1, 1);
+    println!(
+        "modelled access times: NVEM {:.3} ms, SSD/disk cache {:.1} ms, disk {:.1} ms",
+        nvem.synchronous_cost(50.0),
+        ssd.cache_hit_latency(),
+        disk.disk_access_latency()
+    );
+
+    for (name, kind) in [
+        ("ssd", DiskUnitKind::Ssd),
+        ("regular_disk", DiskUnitKind::Regular),
+        ("volatile_cache", DiskUnitKind::VolatileCache),
+        ("nonvolatile_cache", DiskUnitKind::NonVolatileCache),
+    ] {
+        group.bench_function(format!("request_decision/{name}"), |b| {
+            let mut unit = DiskUnit::new(
+                name,
+                DiskUnitParams {
+                    kind,
+                    cache_size: 4_096,
+                    ..DiskUnitParams::default()
+                },
+            );
+            let mut page = 0u64;
+            b.iter(|| {
+                page = (page + 1) % 16_384;
+                let decision = unit.request(IoKind::Write, PageId(page));
+                black_box(decision.foreground_service_time())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,84 @@
+//! Regenerates the tables and figures of the paper's evaluation section.
+//!
+//! ```bash
+//! # All experiments at reduced ("standard") scale:
+//! cargo run --release -p tpsim-bench --bin experiments
+//!
+//! # A single experiment:
+//! cargo run --release -p tpsim-bench --bin experiments -- fig4.1
+//!
+//! # Scale selection: --quick (smoke test), --standard (default), --full
+//! # (the paper's database sizes and simulation lengths; takes much longer).
+//! cargo run --release -p tpsim-bench --bin experiments -- --full fig4.2
+//! ```
+
+use tpsim_bench::{all_experiments, experiments::run_experiment, RunSettings};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut settings = RunSettings::standard();
+    let mut scale_label = "standard";
+    let mut requested: Vec<String> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" => {
+                settings = RunSettings::quick();
+                scale_label = "quick";
+            }
+            "--standard" => {
+                settings = RunSettings::standard();
+                scale_label = "standard";
+            }
+            "--full" => {
+                settings = RunSettings::full();
+                scale_label = "full";
+            }
+            "--sequential" => settings.parallel = false,
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other => requested.push(other.to_string()),
+        }
+    }
+    let catalogue = all_experiments();
+    let ids: Vec<String> = if requested.is_empty() {
+        catalogue.iter().map(|e| e.id.to_string()).collect()
+    } else {
+        for r in &requested {
+            if !catalogue.iter().any(|e| e.id == r) {
+                eprintln!("unknown experiment id '{r}'");
+                print_help();
+                std::process::exit(1);
+            }
+        }
+        requested
+    };
+
+    println!("# TPSIM experiment regeneration ({scale_label} scale)");
+    println!(
+        "# debit-credit scale 1/{}, trace scale 1/{}, warm-up {} ms, measurement {} ms",
+        settings.debit_credit_scale, settings.trace_scale, settings.warmup_ms, settings.measure_ms
+    );
+    println!();
+    for id in ids {
+        let start = std::time::Instant::now();
+        let result = run_experiment(&id, &settings);
+        println!("## {} — {}", result.experiment.id, result.experiment.title);
+        println!();
+        println!("{}", result.table);
+        println!(
+            "(regenerated in {:.1} s wall-clock)",
+            start.elapsed().as_secs_f64()
+        );
+        println!();
+    }
+}
+
+fn print_help() {
+    println!("usage: experiments [--quick|--standard|--full] [--sequential] [EXPERIMENT-ID ...]");
+    println!("experiments:");
+    for e in all_experiments() {
+        println!("  {:<10} {}", e.id, e.title);
+    }
+}

@@ -1,0 +1,609 @@
+//! The experiment definitions: one function per table/figure of the paper,
+//! each returning a formatted text table with the regenerated series.
+
+use std::fmt::Write as _;
+
+use lockmgr::CcMode;
+use tpsim::presets::{ContentionAllocation, DebitCreditStorage, LogVariant, SecondLevel, TraceStorage, DB_UNIT};
+use tpsim::tables;
+
+use crate::runner::{
+    self, caching_point, fig4_1_point, fig4_2_point, fig4_3_point, fig4_8_point, trace_point,
+    Family, RunSettings, SweepPoint,
+};
+
+/// Identifier and human-readable title of one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Experiment {
+    /// Short id used on the command line (e.g. "fig4.1").
+    pub id: &'static str,
+    /// Title as in the paper.
+    pub title: &'static str,
+}
+
+/// The result of regenerating one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The experiment that was run.
+    pub experiment: Experiment,
+    /// Formatted text table (also embedded into `EXPERIMENTS.md`).
+    pub table: String,
+}
+
+/// Every experiment of the paper, in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "table2.1", title: "Table 2.1: storage cost and access times" },
+        Experiment { id: "table2.2", title: "Table 2.2: usage forms of intermediate storage types" },
+        Experiment { id: "fig4.1", title: "Fig. 4.1: influence of log file allocation (Debit-Credit, NOFORCE)" },
+        Experiment { id: "fig4.2", title: "Fig. 4.2: impact of database allocation (Debit-Credit, NOFORCE)" },
+        Experiment { id: "fig4.3", title: "Fig. 4.3: FORCE vs NOFORCE (Debit-Credit)" },
+        Experiment { id: "fig4.4", title: "Fig. 4.4: caching for different main-memory buffer sizes (NOFORCE)" },
+        Experiment { id: "table4.2", title: "Table 4.2: main memory and 2nd-level cache hit ratios" },
+        Experiment { id: "fig4.5", title: "Fig. 4.5: caching for different 2nd-level buffer sizes (NOFORCE)" },
+        Experiment { id: "fig4.6", title: "Fig. 4.6: impact of main-memory buffer size for real-life workload" },
+        Experiment { id: "fig4.7", title: "Fig. 4.7: impact of 2nd-level buffer size for real-life workload" },
+        Experiment { id: "fig4.8", title: "Fig. 4.8: page- vs object-locking for different allocation strategies" },
+    ]
+}
+
+/// Runs one experiment by id.  Panics on an unknown id.
+pub fn run_experiment(id: &str, settings: &RunSettings) -> ExperimentResult {
+    let experiment = all_experiments()
+        .into_iter()
+        .find(|e| e.id == id)
+        .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+    let table = match id {
+        "table2.1" => table_2_1(),
+        "table2.2" => table_2_2(),
+        "fig4.1" => fig4_1(settings),
+        "fig4.2" => fig4_2(settings),
+        "fig4.3" => fig4_3(settings),
+        "fig4.4" => fig4_4(settings),
+        "table4.2" => table_4_2(settings),
+        "fig4.5" => fig4_5(settings),
+        "fig4.6" => fig4_6(settings),
+        "fig4.7" => fig4_7(settings),
+        "fig4.8" => fig4_8(settings),
+        _ => unreachable!(),
+    };
+    ExperimentResult { experiment, table }
+}
+
+// ---------------------------------------------------------------------------
+// Formatting helpers
+// ---------------------------------------------------------------------------
+
+/// Formats a response-time-vs-arrival-rate sweep as one row per series with
+/// one column per rate.
+fn format_rate_table(points: &[SweepPoint], rates: &[f64], value: &str) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<46}", format!("series \\ arrival rate [TPS] ({value})"));
+    for r in rates {
+        let _ = write!(out, "{:>10.0}", r);
+    }
+    let _ = writeln!(out);
+    let mut series: Vec<&str> = Vec::new();
+    for p in points {
+        if !series.contains(&p.series.as_str()) {
+            series.push(&p.series);
+        }
+    }
+    for s in series {
+        let _ = write!(out, "{:<46}", s);
+        for r in rates {
+            let point = points
+                .iter()
+                .find(|p| p.series == s && (p.x - r).abs() < 1e-9);
+            match point {
+                Some(p) => {
+                    let _ = write!(out, "{:>10.2}", p.report.response_time.mean);
+                }
+                None => {
+                    let _ = write!(out, "{:>10}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Formats a generic x-sweep (buffer sizes) of response times.
+fn format_x_table(points: &[SweepPoint], xs: &[usize], x_name: &str) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<46}", format!("series \\ {x_name} (mean response [ms])"));
+    for x in xs {
+        let _ = write!(out, "{:>10}", x);
+    }
+    let _ = writeln!(out);
+    let mut series: Vec<&str> = Vec::new();
+    for p in points {
+        if !series.contains(&p.series.as_str()) {
+            series.push(&p.series);
+        }
+    }
+    for s in series {
+        let _ = write!(out, "{:<46}", s);
+        for x in xs {
+            let point = points
+                .iter()
+                .find(|p| p.series == s && (p.x - *x as f64).abs() < 1e-9);
+            match point {
+                Some(p) => {
+                    let _ = write!(out, "{:>10.2}", p.report.response_time.mean);
+                }
+                None => {
+                    let _ = write!(out, "{:>10}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table 2.1 / 2.2 (static)
+// ---------------------------------------------------------------------------
+
+fn table_2_1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<26} {:>22} {:>26}",
+        "storage type", "price per MB [$]", "access time per 4KB page"
+    );
+    for row in tables::table_2_1() {
+        let price = if row.price_per_mb.0.is_nan() {
+            "?".to_string()
+        } else {
+            format!("{:.0} - {:.0}", row.price_per_mb.0, row.price_per_mb.1)
+        };
+        let access = if row.access_time_ms.1 < 1.0 {
+            format!(
+                "{:.0} - {:.0} microsec",
+                row.access_time_ms.0 * 1000.0,
+                row.access_time_ms.1 * 1000.0
+            )
+        } else {
+            format!("{:.0} - {:.0} ms", row.access_time_ms.0, row.access_time_ms.1)
+        };
+        let _ = writeln!(out, "{:<26} {:>22} {:>26}", row.storage, price, access);
+    }
+    out
+}
+
+fn table_2_2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>16} {:>14} {:>16}",
+        "storage type", "resident files", "write buffer", "database buffer"
+    );
+    let yn = |b: bool| if b { "+" } else { "-" };
+    for row in tables::table_2_2() {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>16} {:>14} {:>16}",
+            row.storage,
+            yn(row.resident_files),
+            yn(row.write_buffer),
+            yn(row.database_buffer)
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4.1 — log allocation
+// ---------------------------------------------------------------------------
+
+fn fig4_1(settings: &RunSettings) -> String {
+    let mut points = Vec::new();
+    for variant in LogVariant::ALL {
+        for &rate in &settings.rates {
+            points.push((
+                variant.label().to_string(),
+                rate,
+                fig4_1_point(variant, rate),
+                Family::DebitCredit,
+            ));
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    let mut out = format_rate_table(&results, &settings.rates, "mean response [ms]");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "throughput [TPS] per series:");
+    out.push_str(&format_throughput(&results, &settings.rates));
+    out
+}
+
+fn format_throughput(points: &[SweepPoint], rates: &[f64]) -> String {
+    let mut out = String::new();
+    let mut series: Vec<&str> = Vec::new();
+    for p in points {
+        if !series.contains(&p.series.as_str()) {
+            series.push(&p.series);
+        }
+    }
+    let _ = write!(out, "{:<46}", "series \\ arrival rate [TPS]");
+    for r in rates {
+        let _ = write!(out, "{:>10.0}", r);
+    }
+    let _ = writeln!(out);
+    for s in series {
+        let _ = write!(out, "{:<46}", s);
+        for r in rates {
+            let point = points
+                .iter()
+                .find(|p| p.series == s && (p.x - r).abs() < 1e-9);
+            match point {
+                Some(p) => {
+                    let _ = write!(out, "{:>10.1}", p.report.throughput_tps);
+                }
+                None => {
+                    let _ = write!(out, "{:>10}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4.2 / 4.3 — database allocation and update strategy
+// ---------------------------------------------------------------------------
+
+fn fig4_2(settings: &RunSettings) -> String {
+    let mut points = Vec::new();
+    for storage in DebitCreditStorage::ALL {
+        for &rate in &settings.rates {
+            points.push((
+                storage.label().to_string(),
+                rate,
+                fig4_2_point(storage, rate),
+                Family::DebitCredit,
+            ));
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    format_rate_table(&results, &settings.rates, "mean response [ms]")
+}
+
+fn fig4_3(settings: &RunSettings) -> String {
+    let storages = [
+        DebitCreditStorage::Disk,
+        DebitCreditStorage::DiskWithNvCacheWriteBuffer,
+        DebitCreditStorage::NvemResident,
+    ];
+    let mut points = Vec::new();
+    for storage in storages {
+        for force in [true, false] {
+            let label = format!(
+                "{}: {}",
+                if force { "FORCE" } else { "NOFORCE" },
+                storage.label()
+            );
+            for &rate in &settings.rates {
+                points.push((
+                    label.clone(),
+                    rate,
+                    fig4_3_point(storage, force, rate),
+                    Family::DebitCredit,
+                ));
+            }
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    format_rate_table(&results, &settings.rates, "mean response [ms]")
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4.4 / 4.5 and Table 4.2 — multi-level caching for Debit-Credit
+// ---------------------------------------------------------------------------
+
+fn caching_series() -> Vec<(String, SecondLevel)> {
+    vec![
+        ("MM caching only".to_string(), SecondLevel::None),
+        ("vol. disk cache (1000)".to_string(), SecondLevel::VolatileDiskCache(1_000)),
+        ("write buffer in nv cache".to_string(), SecondLevel::DiskCacheWriteBufferOnly),
+        ("nv disk cache (1000)".to_string(), SecondLevel::NonVolatileDiskCache(1_000)),
+        ("NVEM buffer (500)".to_string(), SecondLevel::NvemCache(500)),
+        ("NVEM buffer (1000)".to_string(), SecondLevel::NvemCache(1_000)),
+    ]
+}
+
+fn fig4_4(settings: &RunSettings) -> String {
+    let mm_sizes = [200usize, 500, 1_000, 2_000, 5_000];
+    let mut points = Vec::new();
+    for (label, second) in caching_series() {
+        for &mm in &mm_sizes {
+            points.push((
+                label.clone(),
+                mm as f64,
+                caching_point(mm, second, false, settings.caching_rate),
+                Family::DebitCredit,
+            ));
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    format_x_table(&results, &mm_sizes, "main memory buffer size")
+}
+
+fn table_4_2(settings: &RunSettings) -> String {
+    let mm_sizes = [200usize, 500, 1_000, 2_000];
+    let series: Vec<(String, SecondLevel)> = vec![
+        ("vol. disk cache 1000".to_string(), SecondLevel::VolatileDiskCache(1_000)),
+        ("nv disk cache 1000".to_string(), SecondLevel::NonVolatileDiskCache(1_000)),
+        ("NVEM cache 1000".to_string(), SecondLevel::NvemCache(1_000)),
+        ("NVEM cache 500".to_string(), SecondLevel::NvemCache(500)),
+    ];
+    let mut out = String::new();
+    for force in [false, true] {
+        let strategy = if force { "b) FORCE" } else { "a) NOFORCE" };
+        let mut points = Vec::new();
+        // Main-memory-only runs provide the first row of the table.
+        for &mm in &mm_sizes {
+            points.push((
+                "main memory".to_string(),
+                mm as f64,
+                caching_point(mm, SecondLevel::None, force, settings.caching_rate),
+                Family::DebitCredit,
+            ));
+        }
+        for (label, second) in &series {
+            for &mm in &mm_sizes {
+                points.push((
+                    label.clone(),
+                    mm as f64,
+                    caching_point(mm, *second, force, settings.caching_rate),
+                    Family::DebitCredit,
+                ));
+            }
+        }
+        let results = runner::run_sweep(settings, points);
+        let _ = writeln!(out, "{strategy} — hit ratios [%] by main-memory buffer size");
+        let _ = write!(out, "{:<28}", "cache level");
+        for mm in mm_sizes {
+            let _ = write!(out, "{:>10}", mm);
+        }
+        let _ = writeln!(out);
+        // First row: main-memory hit ratio of the MM-only configuration.
+        let _ = write!(out, "{:<28}", "main memory");
+        for &mm in &mm_sizes {
+            let p = results
+                .iter()
+                .find(|p| p.series == "main memory" && (p.x - mm as f64).abs() < 1e-9)
+                .expect("point exists");
+            let _ = write!(out, "{:>10.1}", p.report.mm_hit_ratio() * 100.0);
+        }
+        let _ = writeln!(out);
+        // Remaining rows: the *additional* hit ratio of each second-level cache.
+        for (label, second) in &series {
+            let _ = write!(out, "{:<28}", label);
+            for &mm in &mm_sizes {
+                let p = results
+                    .iter()
+                    .find(|p| &p.series == label && (p.x - mm as f64).abs() < 1e-9)
+                    .expect("point exists");
+                let hit = match second {
+                    SecondLevel::NvemCache(_) => p.report.nvem_hit_ratio(),
+                    _ => second_level_disk_hit_ratio(&p.report),
+                };
+                let _ = write!(out, "{:>10.1}", hit * 100.0);
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// The additional hit ratio contributed by a disk cache: read hits at the
+/// database disk unit relative to all buffer-manager page references.
+fn second_level_disk_hit_ratio(report: &tpsim::SimulationReport) -> f64 {
+    let refs = report.buffer.references();
+    if refs == 0 {
+        return 0.0;
+    }
+    report.disk_units[DB_UNIT].stats.read_hits as f64 / refs as f64
+}
+
+fn fig4_5(settings: &RunSettings) -> String {
+    let cache_sizes = [200usize, 500, 1_000, 2_000, 5_000];
+    let series = [
+        ("vol. disk cache", 0u8),
+        ("nv disk cache", 1u8),
+        ("NVEM buffer", 2u8),
+    ];
+    let mut points = Vec::new();
+    for (label, kind) in series {
+        for &size in &cache_sizes {
+            let second = match kind {
+                0 => SecondLevel::VolatileDiskCache(size),
+                1 => SecondLevel::NonVolatileDiskCache(size),
+                _ => SecondLevel::NvemCache(size),
+            };
+            points.push((
+                label.to_string(),
+                size as f64,
+                caching_point(500, second, false, settings.caching_rate),
+                Family::DebitCredit,
+            ));
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    let mut out = format_x_table(&results, &cache_sizes, "2nd-level cache size");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "additional 2nd-level hit ratio [%] (main-memory buffer 500 pages):");
+    let _ = write!(out, "{:<46}", "series \\ 2nd-level cache size");
+    for s in cache_sizes {
+        let _ = write!(out, "{:>10}", s);
+    }
+    let _ = writeln!(out);
+    for (label, kind) in series {
+        let _ = write!(out, "{:<46}", label);
+        for &size in &cache_sizes {
+            let p = results
+                .iter()
+                .find(|p| p.series == label && (p.x - size as f64).abs() < 1e-9)
+                .expect("point exists");
+            let hit = if kind == 2 {
+                p.report.nvem_hit_ratio()
+            } else {
+                second_level_disk_hit_ratio(&p.report)
+            };
+            let _ = write!(out, "{:>10.1}", hit * 100.0);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4.6 / 4.7 — trace-driven caching
+// ---------------------------------------------------------------------------
+
+fn trace_series() -> Vec<(String, TraceStorage)> {
+    vec![
+        ("MM caching only".to_string(), TraceStorage::MmOnly),
+        ("vol. disk cache (2000)".to_string(), TraceStorage::VolatileDiskCache(2_000)),
+        ("non-vol. disk cache (2000)".to_string(), TraceStorage::NonVolatileDiskCache(2_000)),
+        ("NVEM cache (2000)".to_string(), TraceStorage::NvemCache(2_000)),
+        ("solid-state disk".to_string(), TraceStorage::Ssd),
+        ("NVEM-resident".to_string(), TraceStorage::NvemResident),
+    ]
+}
+
+fn fig4_6(settings: &RunSettings) -> String {
+    let mm_sizes = [100usize, 500, 1_000, 1_500, 2_000];
+    let mut points = Vec::new();
+    for (label, storage) in trace_series() {
+        for &mm in &mm_sizes {
+            points.push((
+                label.clone(),
+                mm as f64,
+                trace_point(mm, storage, settings.trace_rate),
+                Family::Trace,
+            ));
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    format_x_table(&results, &mm_sizes, "main memory buffer size")
+}
+
+fn fig4_7(settings: &RunSettings) -> String {
+    let cache_sizes = [0usize, 1_000, 2_000, 3_000, 4_000, 5_000];
+    let series = [
+        ("vol. disk cache", 0u8),
+        ("non-vol. disk cache", 1u8),
+        ("NVEM buffer", 2u8),
+    ];
+    let mut points = Vec::new();
+    for (label, kind) in series {
+        for &size in &cache_sizes {
+            let storage = if size == 0 {
+                TraceStorage::MmOnly
+            } else {
+                match kind {
+                    0 => TraceStorage::VolatileDiskCache(size),
+                    1 => TraceStorage::NonVolatileDiskCache(size),
+                    _ => TraceStorage::NvemCache(size),
+                }
+            };
+            points.push((
+                label.to_string(),
+                size as f64,
+                trace_point(1_000, storage, settings.trace_rate),
+                Family::Trace,
+            ));
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    format_x_table(&results, &cache_sizes, "2nd-level buffer size")
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4.8 — lock contention
+// ---------------------------------------------------------------------------
+
+fn fig4_8(settings: &RunSettings) -> String {
+    let mut points = Vec::new();
+    for allocation in ContentionAllocation::ALL {
+        for granularity in [CcMode::Page, CcMode::Object] {
+            // The paper only plots the NVEM-resident configuration with page
+            // locking (object locking adds nothing there).
+            if allocation == ContentionAllocation::NvemResident && granularity == CcMode::Object {
+                continue;
+            }
+            let label = format!(
+                "{} - {}",
+                allocation.label(),
+                if granularity == CcMode::Page { "page locking" } else { "object locking" }
+            );
+            for &rate in &settings.rates {
+                points.push((
+                    label.clone(),
+                    rate,
+                    fig4_8_point(allocation, granularity, rate),
+                    Family::Contention,
+                ));
+            }
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    let mut out = format_rate_table(&results, &settings.rates, "mean response [ms]");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "throughput [TPS] per series:");
+    out.push_str(&format_throughput(&results, &settings.rates));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_catalogue_covers_all_tables_and_figures() {
+        let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        for expected in [
+            "table2.1", "table2.2", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "table4.2",
+            "fig4.5", "fig4.6", "fig4.7", "fig4.8",
+        ] {
+            assert!(ids.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(ids.len(), 11);
+    }
+
+    #[test]
+    fn static_tables_render() {
+        let t21 = run_experiment("table2.1", &RunSettings::quick());
+        assert!(t21.table.contains("extended memory"));
+        assert!(t21.table.contains("disk"));
+        let t22 = run_experiment("table2.2", &RunSettings::quick());
+        assert!(t22.table.contains("non-volatile extended memory"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_experiment_id_panics() {
+        let _ = run_experiment("fig9.9", &RunSettings::quick());
+    }
+
+    #[test]
+    fn fig4_1_quick_run_produces_all_series() {
+        let mut settings = RunSettings::quick();
+        settings.rates = vec![50.0, 150.0];
+        let result = run_experiment("fig4.1", &settings);
+        for variant in LogVariant::ALL {
+            assert!(
+                result.table.contains(variant.label()),
+                "missing series {} in\n{}",
+                variant.label(),
+                result.table
+            );
+        }
+    }
+}

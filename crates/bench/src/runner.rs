@@ -1,0 +1,289 @@
+//! Shared run infrastructure: settings (scale, simulated durations, sweep
+//! rates), single-point runners for each workload family, and a parallel
+//! sweep helper.
+
+use tpsim::presets::{self, DebitCreditStorage, LogVariant, SecondLevel, TraceStorage};
+use tpsim::{Simulation, SimulationConfig, SimulationReport};
+
+use lockmgr::CcMode;
+use tpsim::presets::ContentionAllocation;
+
+/// How large and how long the experiment runs are.
+#[derive(Debug, Clone)]
+pub struct RunSettings {
+    /// Scale-down factor of the Debit-Credit database (1 = the paper's 50 M
+    /// accounts).
+    pub debit_credit_scale: u64,
+    /// Scale-down factor of the synthetic trace (1 = the paper's ≈1 M
+    /// references).
+    pub trace_scale: usize,
+    /// Warm-up interval per run (ms of simulated time).
+    pub warmup_ms: f64,
+    /// Measurement interval per run (ms of simulated time).
+    pub measure_ms: f64,
+    /// Arrival rates (TPS) for the response-time-vs-throughput figures.
+    pub rates: Vec<f64>,
+    /// Arrival rate used for the caching experiments (the paper uses 500 TPS).
+    pub caching_rate: f64,
+    /// Arrival rate used for the trace experiments.
+    pub trace_rate: f64,
+    /// Run the points of a sweep on multiple threads.
+    pub parallel: bool,
+}
+
+impl RunSettings {
+    /// Full-scale settings: the paper's database sizes and arrival rates.
+    /// A complete regeneration of all experiments takes tens of minutes.
+    pub fn full() -> Self {
+        Self {
+            debit_credit_scale: 1,
+            trace_scale: 1,
+            warmup_ms: 3_000.0,
+            measure_ms: 20_000.0,
+            rates: vec![10.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0],
+            caching_rate: 500.0,
+            trace_rate: 40.0,
+            parallel: true,
+        }
+    }
+
+    /// Reduced settings: a scaled-down database and shorter simulated
+    /// intervals.  The qualitative shape of every figure is preserved; a full
+    /// regeneration takes a few minutes.
+    pub fn standard() -> Self {
+        Self {
+            debit_credit_scale: 20,
+            trace_scale: 4,
+            warmup_ms: 1_500.0,
+            measure_ms: 8_000.0,
+            rates: vec![10.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0],
+            caching_rate: 500.0,
+            trace_rate: 40.0,
+            parallel: true,
+        }
+    }
+
+    /// Minimal settings for smoke tests and Criterion benches.
+    pub fn quick() -> Self {
+        Self {
+            debit_credit_scale: 200,
+            trace_scale: 10,
+            warmup_ms: 300.0,
+            measure_ms: 1_500.0,
+            rates: vec![50.0, 200.0, 500.0],
+            caching_rate: 200.0,
+            trace_rate: 25.0,
+            parallel: true,
+        }
+    }
+
+    fn apply(&self, mut config: SimulationConfig) -> SimulationConfig {
+        config.warmup_ms = self.warmup_ms;
+        config.measure_ms = self.measure_ms;
+        config
+    }
+}
+
+/// One point of a sweep: an x value (arrival rate, buffer size, ...), a label
+/// and the simulation report.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Series label (e.g. the storage allocation).
+    pub series: String,
+    /// X value of the point.
+    pub x: f64,
+    /// The simulation result.
+    pub report: SimulationReport,
+}
+
+/// Runs one Debit-Credit point.
+pub fn run_debit_credit(settings: &RunSettings, config: SimulationConfig) -> SimulationReport {
+    let config = settings.apply(config);
+    let workload = presets::debit_credit_workload(settings.debit_credit_scale);
+    Simulation::new(config, workload).run()
+}
+
+/// Runs one trace-replay point.
+pub fn run_trace(settings: &RunSettings, config: SimulationConfig) -> SimulationReport {
+    let config = settings.apply(config);
+    let workload = presets::trace_workload(settings.trace_scale, 7);
+    Simulation::new(config, workload).run()
+}
+
+/// Runs one lock-contention point.
+pub fn run_contention(settings: &RunSettings, config: SimulationConfig) -> SimulationReport {
+    let config = settings.apply(config);
+    Simulation::new(config, presets::contention_workload()).run()
+}
+
+/// Which workload family a sweep point belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Debit-Credit (§4.2–§4.5).
+    DebitCredit,
+    /// Trace replay (§4.6).
+    Trace,
+    /// Synthetic contention workload (§4.7).
+    Contention,
+}
+
+/// Runs a set of `(series, x, config, family)` points, in parallel when the
+/// settings allow it, preserving the input order in the output.
+pub fn run_sweep(
+    settings: &RunSettings,
+    points: Vec<(String, f64, SimulationConfig, Family)>,
+) -> Vec<SweepPoint> {
+    let run_one = |(series, x, config, family): (String, f64, SimulationConfig, Family)| {
+        let report = match family {
+            Family::DebitCredit => run_debit_credit(settings, config),
+            Family::Trace => run_trace(settings, config),
+            Family::Contention => run_contention(settings, config),
+        };
+        SweepPoint { series, x, report }
+    };
+    if !settings.parallel || points.len() <= 1 {
+        return points.into_iter().map(run_one).collect();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(points.len());
+    let jobs: Vec<(usize, (String, f64, SimulationConfig, Family))> =
+        points.into_iter().enumerate().collect();
+    let chunks: Vec<Vec<_>> = (0..threads)
+        .map(|t| {
+            jobs.iter()
+                .filter(|(i, _)| i % threads == t)
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let mut results: Vec<(usize, SweepPoint)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .into_iter()
+                        .map(|(i, p)| (i, run_one(p)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, p)| p).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Convenience constructors for the configurations of each experiment,
+// re-exported for the Criterion benches.
+// ---------------------------------------------------------------------------
+
+/// Configuration of one Fig. 4.1 point.
+pub fn fig4_1_point(variant: LogVariant, rate: f64) -> SimulationConfig {
+    presets::log_allocation_config(variant, rate)
+}
+
+/// Configuration of one Fig. 4.2 point (NOFORCE).
+pub fn fig4_2_point(storage: DebitCreditStorage, rate: f64) -> SimulationConfig {
+    presets::debit_credit_config(storage, rate)
+}
+
+/// Configuration of one Fig. 4.3 point.
+pub fn fig4_3_point(storage: DebitCreditStorage, force: bool, rate: f64) -> SimulationConfig {
+    let mut c = presets::debit_credit_config(storage, rate);
+    if force {
+        c.buffer.update_strategy = bufmgr::UpdateStrategy::Force;
+    }
+    c
+}
+
+/// Configuration of one Fig. 4.4 / Fig. 4.5 / Table 4.2 point.
+pub fn caching_point(
+    mm_pages: usize,
+    second_level: SecondLevel,
+    force: bool,
+    rate: f64,
+) -> SimulationConfig {
+    presets::caching_config(mm_pages, second_level, force, rate)
+}
+
+/// Configuration of one Fig. 4.6 / Fig. 4.7 point.
+pub fn trace_point(mm_pages: usize, storage: TraceStorage, rate: f64) -> SimulationConfig {
+    presets::trace_config(mm_pages, storage, rate)
+}
+
+/// Configuration of one Fig. 4.8 point.
+pub fn fig4_8_point(
+    allocation: ContentionAllocation,
+    granularity: CcMode,
+    rate: f64,
+) -> SimulationConfig {
+    presets::contention_config(allocation, granularity, rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_settings_run_a_small_sweep() {
+        let settings = RunSettings::quick();
+        let points = vec![
+            (
+                "disk".to_string(),
+                50.0,
+                fig4_2_point(DebitCreditStorage::Disk, 50.0),
+                Family::DebitCredit,
+            ),
+            (
+                "nvem".to_string(),
+                50.0,
+                fig4_2_point(DebitCreditStorage::NvemResident, 50.0),
+                Family::DebitCredit,
+            ),
+        ];
+        let results = run_sweep(&settings, points);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].series, "disk");
+        assert!(results[0].report.completed > 0);
+        assert!(results[1].report.response_time.mean < results[0].report.response_time.mean);
+    }
+
+    #[test]
+    fn sequential_and_parallel_sweeps_agree() {
+        let mut settings = RunSettings::quick();
+        let mk_points = || {
+            vec![
+                (
+                    "a".to_string(),
+                    100.0,
+                    fig4_2_point(DebitCreditStorage::Ssd, 100.0),
+                    Family::DebitCredit,
+                ),
+                (
+                    "b".to_string(),
+                    100.0,
+                    fig4_2_point(DebitCreditStorage::Disk, 100.0),
+                    Family::DebitCredit,
+                ),
+            ]
+        };
+        settings.parallel = false;
+        let seq = run_sweep(&settings, mk_points());
+        settings.parallel = true;
+        let par = run_sweep(&settings, mk_points());
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(par.iter()) {
+            assert_eq!(s.series, p.series);
+            assert_eq!(s.report.completed, p.report.completed);
+            assert!((s.report.response_time.mean - p.report.response_time.mean).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Buffer-manager configuration: buffer sizes, update strategy, and the
+//! per-partition storage policies of Fig. 3.2 (allocation, NVEM caching mode,
+//! NVEM write buffer use).
+
+use dbmodel::Database;
+
+/// Where the home copy of a partition lives (the "DBallocation" parameter of
+/// Table 3.4 plus the main-memory-resident option of Table 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageLocation {
+    /// The partition is main-memory resident: every reference is a hit and
+    /// only logging is performed at commit.
+    MainMemoryResident,
+    /// The partition resides in non-volatile extended memory; accesses are
+    /// synchronous NVEM page transfers.
+    NvemResident,
+    /// The partition is stored on the disk unit with the given index (which
+    /// may be a regular disk, a cached disk or an SSD).
+    DiskUnit(usize),
+}
+
+impl Default for PageLocation {
+    fn default() -> Self {
+        PageLocation::DiskUnit(0)
+    }
+}
+
+impl Default for PartitionPolicy {
+    fn default() -> Self {
+        Self {
+            location: PageLocation::DiskUnit(0),
+            nvem_cache: SecondLevelMode::None,
+            use_nvem_write_buffer: false,
+        }
+    }
+}
+
+impl PageLocation {
+    /// Compact helper used by reports.
+    pub fn describe(&self) -> String {
+        match self {
+            PageLocation::MainMemoryResident => "main memory resident".to_string(),
+            PageLocation::NvemResident => "NVEM resident".to_string(),
+            PageLocation::DiskUnit(u) => format!("disk unit {u}"),
+        }
+    }
+}
+
+/// Which pages migrate from main memory to the second-level NVEM cache when
+/// they are replaced (the "NVEM caching mode" parameter of Table 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SecondLevelMode {
+    /// No NVEM caching for this partition.
+    #[default]
+    None,
+    /// All replaced pages migrate to the NVEM cache.
+    All,
+    /// Only modified pages migrate.
+    OnlyModified,
+    /// Only unmodified pages migrate.
+    OnlyUnmodified,
+}
+
+impl SecondLevelMode {
+    /// True if NVEM caching is enabled at all.
+    pub fn enabled(self) -> bool {
+        !matches!(self, SecondLevelMode::None)
+    }
+
+    /// True if a page with the given dirty state should migrate to NVEM when
+    /// replaced from main memory.
+    pub fn migrates(self, dirty: bool) -> bool {
+        match self {
+            SecondLevelMode::None => false,
+            SecondLevelMode::All => true,
+            SecondLevelMode::OnlyModified => dirty,
+            SecondLevelMode::OnlyUnmodified => !dirty,
+        }
+    }
+}
+
+/// Propagation strategy for modified pages [HR83].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateStrategy {
+    /// NOFORCE: modified pages stay in the buffer after commit and are written
+    /// back on replacement; checkpoint overhead is ignored (fuzzy
+    /// checkpointing).
+    #[default]
+    NoForce,
+    /// FORCE: all pages modified by a transaction are written to the permanent
+    /// database (or to non-volatile intermediate storage) at commit.
+    Force,
+}
+
+/// Per-partition buffer-management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionPolicy {
+    /// Where the partition's home copy lives.
+    pub location: PageLocation,
+    /// Second-level NVEM caching mode for the partition.
+    pub nvem_cache: SecondLevelMode,
+    /// Whether page writes of this partition use the NVEM write buffer.
+    pub use_nvem_write_buffer: bool,
+}
+
+impl PartitionPolicy {
+    /// Partition stored on the given disk unit with no NVEM usage.
+    pub fn on_disk_unit(unit: usize) -> Self {
+        Self {
+            location: PageLocation::DiskUnit(unit),
+            ..Self::default()
+        }
+    }
+
+    /// Main-memory-resident partition.
+    pub fn memory_resident() -> Self {
+        Self {
+            location: PageLocation::MainMemoryResident,
+            ..Self::default()
+        }
+    }
+
+    /// NVEM-resident partition.
+    pub fn nvem_resident() -> Self {
+        Self {
+            location: PageLocation::NvemResident,
+            ..Self::default()
+        }
+    }
+
+    /// Enables second-level NVEM caching with the given mode.
+    pub fn with_nvem_cache(mut self, mode: SecondLevelMode) -> Self {
+        self.nvem_cache = mode;
+        self
+    }
+
+    /// Routes page writes of the partition through the NVEM write buffer.
+    pub fn with_nvem_write_buffer(mut self) -> Self {
+        self.use_nvem_write_buffer = true;
+        self
+    }
+}
+
+/// Complete buffer-manager configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferConfig {
+    /// Size of the main-memory database buffer in page frames.
+    pub mm_buffer_pages: usize,
+    /// Size of the second-level NVEM database buffer in page frames
+    /// (0 disables NVEM caching even if a partition policy requests it).
+    pub nvem_cache_pages: usize,
+    /// Size of the NVEM write buffer in page frames (0 disables it).
+    pub nvem_write_buffer_pages: usize,
+    /// FORCE or NOFORCE propagation.
+    pub update_strategy: UpdateStrategy,
+    /// Per-partition policies, indexed by partition id.
+    pub partitions: Vec<PartitionPolicy>,
+}
+
+impl BufferConfig {
+    /// A configuration for `db` where every partition is stored on disk unit 0
+    /// and only main-memory caching is performed.
+    pub fn disk_based(db: &Database, mm_buffer_pages: usize) -> Self {
+        Self {
+            mm_buffer_pages,
+            nvem_cache_pages: 0,
+            nvem_write_buffer_pages: 0,
+            update_strategy: UpdateStrategy::NoForce,
+            partitions: vec![PartitionPolicy::on_disk_unit(0); db.num_partitions()],
+        }
+    }
+
+    /// Sets the update strategy.
+    pub fn with_update_strategy(mut self, s: UpdateStrategy) -> Self {
+        self.update_strategy = s;
+        self
+    }
+
+    /// Enables the NVEM write buffer of the given size for every partition.
+    pub fn with_nvem_write_buffer(mut self, pages: usize) -> Self {
+        self.nvem_write_buffer_pages = pages;
+        for p in &mut self.partitions {
+            p.use_nvem_write_buffer = true;
+        }
+        self
+    }
+
+    /// Enables a shared second-level NVEM cache of the given size with the
+    /// given migration mode for every partition.
+    pub fn with_nvem_cache(mut self, pages: usize, mode: SecondLevelMode) -> Self {
+        self.nvem_cache_pages = pages;
+        for p in &mut self.partitions {
+            p.nvem_cache = mode;
+        }
+        self
+    }
+
+    /// Policy of partition `id` (defaults to disk unit 0 if out of range).
+    pub fn policy(&self, id: usize) -> PartitionPolicy {
+        self.partitions.get(id).copied().unwrap_or_default()
+    }
+
+    /// Basic consistency checks; returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mm_buffer_pages == 0 {
+            return Err("main-memory buffer must have at least one frame".to_string());
+        }
+        for (i, p) in self.partitions.iter().enumerate() {
+            if p.nvem_cache.enabled() && self.nvem_cache_pages == 0 {
+                return Err(format!(
+                    "partition {i} requests NVEM caching but the NVEM cache size is 0"
+                ));
+            }
+            if p.use_nvem_write_buffer && self.nvem_write_buffer_pages == 0 {
+                return Err(format!(
+                    "partition {i} requests the NVEM write buffer but its size is 0"
+                ));
+            }
+            if p.use_nvem_write_buffer && p.nvem_cache.enabled() {
+                // "when NVEM caching is employed for a partition there is no
+                // further need for a write buffer" (§3.3, footnote 4).
+                return Err(format!(
+                    "partition {i} enables both NVEM caching and the NVEM write buffer"
+                ));
+            }
+            if p.use_nvem_write_buffer
+                && matches!(
+                    p.location,
+                    PageLocation::MainMemoryResident | PageLocation::NvemResident
+                )
+            {
+                return Err(format!(
+                    "partition {i} is semiconductor-resident and needs no write buffer"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::database::PartitionSpec;
+
+    fn db() -> Database {
+        Database::from_specs(vec![
+            PartitionSpec::uniform("A", 100, 10),
+            PartitionSpec::uniform("B", 100, 10),
+        ])
+    }
+
+    #[test]
+    fn second_level_mode_migration_rules() {
+        assert!(!SecondLevelMode::None.migrates(true));
+        assert!(SecondLevelMode::All.migrates(true));
+        assert!(SecondLevelMode::All.migrates(false));
+        assert!(SecondLevelMode::OnlyModified.migrates(true));
+        assert!(!SecondLevelMode::OnlyModified.migrates(false));
+        assert!(SecondLevelMode::OnlyUnmodified.migrates(false));
+        assert!(!SecondLevelMode::OnlyUnmodified.migrates(true));
+    }
+
+    #[test]
+    fn disk_based_config_is_valid() {
+        let c = BufferConfig::disk_based(&db(), 100);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.partitions.len(), 2);
+        assert_eq!(c.policy(0).location, PageLocation::DiskUnit(0));
+        assert_eq!(c.policy(99).location, PageLocation::DiskUnit(0));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = BufferConfig::disk_based(&db(), 100)
+            .with_update_strategy(UpdateStrategy::Force)
+            .with_nvem_cache(500, SecondLevelMode::All);
+        assert_eq!(c.update_strategy, UpdateStrategy::Force);
+        assert_eq!(c.nvem_cache_pages, 500);
+        assert!(c.policy(1).nvem_cache.enabled());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_missing_nvem_cache_size() {
+        let mut c = BufferConfig::disk_based(&db(), 100);
+        c.partitions[0].nvem_cache = SecondLevelMode::All;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_write_buffer_without_size() {
+        let mut c = BufferConfig::disk_based(&db(), 100);
+        c.partitions[1].use_nvem_write_buffer = true;
+        assert!(c.validate().is_err());
+        let c = BufferConfig::disk_based(&db(), 100).with_nvem_write_buffer(200);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_cache_plus_write_buffer() {
+        let mut c = BufferConfig::disk_based(&db(), 100)
+            .with_nvem_write_buffer(100);
+        c.nvem_cache_pages = 100;
+        c.partitions[0].nvem_cache = SecondLevelMode::All;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_mm_buffer() {
+        let mut c = BufferConfig::disk_based(&db(), 100);
+        c.mm_buffer_pages = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn resident_partitions_need_no_write_buffer() {
+        let mut c = BufferConfig::disk_based(&db(), 100).with_nvem_write_buffer(100);
+        c.partitions[0] = PartitionPolicy {
+            location: PageLocation::NvemResident,
+            nvem_cache: SecondLevelMode::None,
+            use_nvem_write_buffer: true,
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn location_describe() {
+        assert_eq!(PageLocation::MainMemoryResident.describe(), "main memory resident");
+        assert_eq!(PageLocation::DiskUnit(3).describe(), "disk unit 3");
+        assert_eq!(PageLocation::NvemResident.describe(), "NVEM resident");
+    }
+}

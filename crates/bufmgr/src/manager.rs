@@ -1,0 +1,691 @@
+//! The buffer manager proper.
+//!
+//! All decisions of §3.2 live here: main-memory LRU caching, victim
+//! write-back (directly to disk, through the NVEM write buffer, or by
+//! migration into the second-level NVEM cache), exclusive (NOFORCE) versus
+//! replicated (FORCE) NVEM caching, and commit-time forcing of modified pages.
+
+use dbmodel::PageId;
+use storage::LruCache;
+
+use crate::config::{BufferConfig, PageLocation, UpdateStrategy};
+use crate::ops::{FetchOutcome, PageOp};
+use crate::stats::BufferStats;
+
+/// State of a page frame in the main-memory buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrameState {
+    partition: usize,
+    dirty: bool,
+}
+
+/// State of a page in the second-level NVEM cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NvemEntry {
+    partition: usize,
+    /// Asynchronous disk writes still in flight for this page.  The entry is
+    /// "clean" (freely replaceable) once this reaches zero.
+    pending: u32,
+}
+
+/// The TPSIM buffer manager.
+#[derive(Debug)]
+pub struct BufferManager {
+    config: BufferConfig,
+    mm: LruCache<PageId, FrameState>,
+    nvem_cache: Option<LruCache<PageId, NvemEntry>>,
+    write_buffer: Option<LruCache<PageId, u32>>,
+    stats: BufferStats,
+}
+
+impl BufferManager {
+    /// Creates a buffer manager for the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`BufferConfig::validate`].
+    pub fn new(config: BufferConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid buffer configuration: {msg}");
+        }
+        let nvem_cache = (config.nvem_cache_pages > 0
+            && config.partitions.iter().any(|p| p.nvem_cache.enabled()))
+        .then(|| LruCache::new(config.nvem_cache_pages));
+        let write_buffer = (config.nvem_write_buffer_pages > 0
+            && config.partitions.iter().any(|p| p.use_nvem_write_buffer))
+        .then(|| LruCache::new(config.nvem_write_buffer_pages));
+        let stats = BufferStats::new(config.partitions.len());
+        Self {
+            mm: LruCache::new(config.mm_buffer_pages),
+            config,
+            nvem_cache,
+            write_buffer,
+            stats,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BufferConfig {
+        &self.config
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> &BufferStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (end of warm-up) without flushing the buffers.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Number of pages in the main-memory buffer.
+    pub fn mm_pages(&self) -> usize {
+        self.mm.len()
+    }
+
+    /// True if `page` is in the main-memory buffer.
+    pub fn mm_contains(&self, page: PageId) -> bool {
+        self.mm.contains(&page)
+    }
+
+    /// True if the main-memory copy of `page` is dirty.
+    pub fn mm_is_dirty(&self, page: PageId) -> bool {
+        self.mm.peek(&page).map(|f| f.dirty).unwrap_or(false)
+    }
+
+    /// Number of pages in the second-level NVEM cache.
+    pub fn nvem_pages(&self) -> usize {
+        self.nvem_cache.as_ref().map(LruCache::len).unwrap_or(0)
+    }
+
+    /// True if `page` is in the second-level NVEM cache.
+    pub fn nvem_contains(&self, page: PageId) -> bool {
+        self.nvem_cache.as_ref().is_some_and(|c| c.contains(&page))
+    }
+
+    /// Number of pages in the NVEM write buffer.
+    pub fn write_buffer_pages(&self) -> usize {
+        self.write_buffer.as_ref().map(LruCache::len).unwrap_or(0)
+    }
+
+    /// References `page` of `partition` on behalf of a transaction, with
+    /// `is_write` indicating a write access.  Returns the operations the
+    /// transaction must perform before the access is complete.
+    pub fn reference_page(
+        &mut self,
+        partition: usize,
+        page: PageId,
+        is_write: bool,
+    ) -> FetchOutcome {
+        self.ensure_partition_stats(partition);
+        self.stats.per_partition[partition].references += 1;
+        let policy = self.config.policy(partition);
+
+        // Memory-resident partitions always hit and need no propagation
+        // (NOFORCE with logging only, §3.2).
+        if policy.location == PageLocation::MainMemoryResident {
+            self.stats.per_partition[partition].mm_hits += 1;
+            return FetchOutcome::hit();
+        }
+
+        // Main-memory hit.
+        if let Some(frame) = self.mm.get_mut(&page) {
+            frame.dirty |= is_write;
+            self.stats.per_partition[partition].mm_hits += 1;
+            return FetchOutcome::hit();
+        }
+
+        // Miss: make room, fetch the page, insert it.
+        let mut ops = Vec::new();
+        if self.mm.is_full() {
+            self.evict_one(&mut ops);
+        }
+        let nvem_cache_hit = self.fetch_missing_page(partition, page, policy.location, &mut ops);
+        if nvem_cache_hit {
+            self.stats.per_partition[partition].nvem_hits += 1;
+        }
+        self.mm.insert(
+            page,
+            FrameState {
+                partition,
+                dirty: is_write,
+            },
+        );
+        FetchOutcome {
+            main_memory_hit: false,
+            nvem_cache_hit,
+            ops,
+        }
+    }
+
+    /// Evicts the LRU frame from main memory, appending any write-back /
+    /// migration operations to `ops`.
+    fn evict_one(&mut self, ops: &mut Vec<PageOp>) {
+        let Some((vpage, vstate)) = self.mm.pop_lru() else {
+            return;
+        };
+        self.stats.mm_evictions += 1;
+        if vstate.dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        let vpolicy = self.config.policy(vstate.partition);
+        match vpolicy.location {
+            PageLocation::MainMemoryResident => {
+                // Memory-resident pages never occupy buffer frames; nothing to do.
+            }
+            PageLocation::NvemResident => {
+                if vstate.dirty {
+                    // Write the page back to its NVEM home copy.
+                    ops.push(PageOp::NvemTransfer {
+                        page: vpage,
+                        to_nvem: true,
+                    });
+                }
+            }
+            PageLocation::DiskUnit(unit) => {
+                let migrate = self.nvem_cache.is_some() && vpolicy.nvem_cache.migrates(vstate.dirty);
+                if migrate {
+                    ops.push(PageOp::NvemTransfer {
+                        page: vpage,
+                        to_nvem: true,
+                    });
+                    if vstate.dirty {
+                        // Start the asynchronous disk update immediately so the
+                        // NVEM frame can later be replaced without delay (§3.2).
+                        ops.push(PageOp::UnitWriteAsync { unit, page: vpage });
+                    }
+                    self.insert_into_nvem_cache(vpage, vstate.partition, vstate.dirty);
+                    self.stats.migrations_to_nvem += 1;
+                } else if vstate.dirty {
+                    self.write_back_dirty(vpage, vstate.partition, unit, ops);
+                }
+                // Clean, non-migrating pages are simply dropped.
+            }
+        }
+    }
+
+    /// Handles the write-back of a dirty page that does not migrate to the
+    /// NVEM cache: through the NVEM write buffer if configured (and not
+    /// saturated), otherwise synchronously to the partition's disk unit.
+    fn write_back_dirty(
+        &mut self,
+        page: PageId,
+        partition: usize,
+        unit: usize,
+        ops: &mut Vec<PageOp>,
+    ) {
+        let use_wb = self.config.policy(partition).use_nvem_write_buffer;
+        if use_wb {
+            if let Some(wb) = self.write_buffer.as_mut() {
+                let absorbed = if let Some(pending) = wb.get_mut(&page) {
+                    *pending += 1;
+                    true
+                } else if !wb.is_full() {
+                    wb.insert(page, 1);
+                    true
+                } else if let Some(clean) = wb.lru_matching(|pending| *pending == 0) {
+                    wb.remove(&clean);
+                    wb.insert(page, 1);
+                    true
+                } else {
+                    false
+                };
+                if absorbed {
+                    ops.push(PageOp::NvemTransfer {
+                        page,
+                        to_nvem: true,
+                    });
+                    ops.push(PageOp::UnitWriteAsync { unit, page });
+                    self.stats.write_buffer_absorbed += 1;
+                    return;
+                }
+                // Every write-buffer frame still has a pending disk update:
+                // fall through to a synchronous disk write.
+                self.stats.write_buffer_overflows += 1;
+            }
+        }
+        ops.push(PageOp::UnitWrite { unit, page });
+    }
+
+    /// Produces the read operation for a missing page and reports whether it
+    /// was a second-level NVEM cache hit.
+    fn fetch_missing_page(
+        &mut self,
+        partition: usize,
+        page: PageId,
+        location: PageLocation,
+        ops: &mut Vec<PageOp>,
+    ) -> bool {
+        match location {
+            PageLocation::MainMemoryResident => false,
+            PageLocation::NvemResident => {
+                ops.push(PageOp::NvemTransfer {
+                    page,
+                    to_nvem: false,
+                });
+                false
+            }
+            PageLocation::DiskUnit(unit) => {
+                let policy = self.config.policy(partition);
+                let in_nvem = policy.nvem_cache.enabled()
+                    && self.nvem_cache.as_mut().is_some_and(|c| c.get(&page).is_some());
+                if in_nvem {
+                    ops.push(PageOp::NvemTransfer {
+                        page,
+                        to_nvem: false,
+                    });
+                    if self.config.update_strategy == UpdateStrategy::NoForce {
+                        // Exclusive caching: the page now lives in main memory
+                        // only ("the page copy in NVEM is deleted", §3.2).
+                        if let Some(c) = self.nvem_cache.as_mut() {
+                            c.remove(&page);
+                        }
+                        self.stats.migrations_from_nvem += 1;
+                    }
+                    true
+                } else {
+                    ops.push(PageOp::UnitRead { unit, page });
+                    false
+                }
+            }
+        }
+    }
+
+    /// Inserts a page into the second-level NVEM cache, preferring to replace
+    /// a clean (already destaged) frame when the cache is full.
+    fn insert_into_nvem_cache(&mut self, page: PageId, partition: usize, dirty: bool) {
+        let Some(cache) = self.nvem_cache.as_mut() else {
+            return;
+        };
+        if cache.is_full() && !cache.contains(&page) {
+            if let Some(clean) = cache.lru_matching(|e| e.pending == 0) {
+                cache.remove(&clean);
+            }
+            // Otherwise the plain LRU frame is evicted by `insert`; its disk
+            // update is already under way, so no data is lost.
+        }
+        let pending_from_existing = cache.peek(&page).map(|e| e.pending).unwrap_or(0);
+        cache.insert(
+            page,
+            NvemEntry {
+                partition,
+                pending: pending_from_existing + u32::from(dirty),
+            },
+        );
+    }
+
+    /// Commit-time forcing of a modified page (FORCE strategy).  Returns the
+    /// operations the committing transaction must wait for (asynchronous disk
+    /// updates excluded).
+    pub fn force_page(&mut self, partition: usize, page: PageId) -> Vec<PageOp> {
+        self.ensure_partition_stats(partition);
+        let policy = self.config.policy(partition);
+        let mut ops = Vec::new();
+        match policy.location {
+            PageLocation::MainMemoryResident => {
+                // Memory-resident partitions use NOFORCE semantics.
+                return ops;
+            }
+            PageLocation::NvemResident => {
+                if self.mark_clean_if_dirty(page) {
+                    ops.push(PageOp::NvemTransfer {
+                        page,
+                        to_nvem: true,
+                    });
+                    self.stats.forced_pages += 1;
+                }
+            }
+            PageLocation::DiskUnit(unit) => {
+                if !self.mark_clean_if_dirty(page) {
+                    // The page was already written back (e.g. evicted before
+                    // commit); nothing to force.
+                    return ops;
+                }
+                self.stats.forced_pages += 1;
+                if self.nvem_cache.is_some() && policy.nvem_cache.enabled() {
+                    // FORCE writes the update to the NVEM cache; the page also
+                    // stays buffered in main memory (replication, §3.2).
+                    ops.push(PageOp::NvemTransfer {
+                        page,
+                        to_nvem: true,
+                    });
+                    ops.push(PageOp::UnitWriteAsync { unit, page });
+                    self.insert_into_nvem_cache(page, partition, true);
+                    self.stats.migrations_to_nvem += 1;
+                } else {
+                    self.write_back_dirty(page, partition, unit, &mut ops);
+                }
+            }
+        }
+        ops
+    }
+
+    /// Marks the main-memory copy of `page` clean.  Returns true if the page
+    /// was present and dirty.
+    fn mark_clean_if_dirty(&mut self, page: PageId) -> bool {
+        if let Some(frame) = self.mm.peek_mut(&page) {
+            if frame.dirty {
+                frame.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reports the completion of an asynchronous disk write started by an
+    /// earlier [`PageOp::UnitWriteAsync`]: the corresponding NVEM cache or
+    /// write-buffer frame becomes clean (replaceable).
+    pub fn async_write_complete(&mut self, page: PageId) {
+        if let Some(cache) = self.nvem_cache.as_mut() {
+            if let Some(entry) = cache.peek_mut(&page) {
+                entry.pending = entry.pending.saturating_sub(1);
+                return;
+            }
+        }
+        if let Some(wb) = self.write_buffer.as_mut() {
+            if let Some(pending) = wb.peek_mut(&page) {
+                *pending = pending.saturating_sub(1);
+            }
+        }
+    }
+
+    fn ensure_partition_stats(&mut self, partition: usize) {
+        if partition >= self.stats.per_partition.len() {
+            self.stats
+                .per_partition
+                .resize(partition + 1, Default::default());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PartitionPolicy, SecondLevelMode};
+    use dbmodel::database::PartitionSpec;
+    use dbmodel::Database;
+
+    fn db() -> Database {
+        Database::from_specs(vec![
+            PartitionSpec::uniform("A", 1000, 10),
+            PartitionSpec::uniform("B", 1000, 10),
+        ])
+    }
+
+    fn disk_config(mm: usize) -> BufferConfig {
+        BufferConfig::disk_based(&db(), mm)
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut bm = BufferManager::new(disk_config(10));
+        let miss = bm.reference_page(0, PageId(1), false);
+        assert!(!miss.main_memory_hit);
+        assert_eq!(miss.ops, vec![PageOp::UnitRead { unit: 0, page: PageId(1) }]);
+        let hit = bm.reference_page(0, PageId(1), false);
+        assert!(hit.main_memory_hit);
+        assert!(hit.ops.is_empty());
+        assert!((bm.stats().mm_hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_access_marks_frame_dirty_and_forces_writeback_on_eviction() {
+        let mut bm = BufferManager::new(disk_config(2));
+        bm.reference_page(0, PageId(1), true);
+        assert!(bm.mm_is_dirty(PageId(1)));
+        bm.reference_page(0, PageId(2), false);
+        // Third page evicts page 1 (dirty) → synchronous write-back + read.
+        let out = bm.reference_page(0, PageId(3), false);
+        assert_eq!(
+            out.ops,
+            vec![
+                PageOp::UnitWrite { unit: 0, page: PageId(1) },
+                PageOp::UnitRead { unit: 0, page: PageId(3) },
+            ]
+        );
+        assert_eq!(bm.stats().mm_evictions, 1);
+        assert_eq!(bm.stats().dirty_evictions, 1);
+        assert!(!bm.mm_contains(PageId(1)));
+    }
+
+    #[test]
+    fn clean_eviction_needs_no_writeback() {
+        let mut bm = BufferManager::new(disk_config(1));
+        bm.reference_page(0, PageId(1), false);
+        let out = bm.reference_page(0, PageId(2), false);
+        assert_eq!(out.ops, vec![PageOp::UnitRead { unit: 0, page: PageId(2) }]);
+        assert_eq!(bm.stats().dirty_evictions, 0);
+    }
+
+    #[test]
+    fn memory_resident_partition_always_hits() {
+        let mut cfg = disk_config(1);
+        cfg.partitions[1] = PartitionPolicy::memory_resident();
+        let mut bm = BufferManager::new(cfg);
+        for i in 0..100 {
+            let out = bm.reference_page(1, PageId(1000 + i), true);
+            assert!(out.main_memory_hit);
+            assert!(out.ops.is_empty());
+        }
+        assert_eq!(bm.mm_pages(), 0);
+        assert!((bm.stats().per_partition[1].mm_hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvem_resident_partition_reads_and_writes_through_nvem() {
+        let mut cfg = disk_config(1);
+        cfg.partitions[0] = PartitionPolicy::nvem_resident();
+        let mut bm = BufferManager::new(cfg);
+        let out = bm.reference_page(0, PageId(1), true);
+        assert_eq!(
+            out.ops,
+            vec![PageOp::NvemTransfer { page: PageId(1), to_nvem: false }]
+        );
+        // Evicting the dirty page writes it back to NVEM, not to a disk unit.
+        let out2 = bm.reference_page(0, PageId(2), false);
+        assert_eq!(
+            out2.ops,
+            vec![
+                PageOp::NvemTransfer { page: PageId(1), to_nvem: true },
+                PageOp::NvemTransfer { page: PageId(2), to_nvem: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn nvem_write_buffer_absorbs_dirty_evictions() {
+        let cfg = disk_config(1).with_nvem_write_buffer(4);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), true);
+        let out = bm.reference_page(0, PageId(2), false);
+        assert_eq!(
+            out.ops,
+            vec![
+                PageOp::NvemTransfer { page: PageId(1), to_nvem: true },
+                PageOp::UnitWriteAsync { unit: 0, page: PageId(1) },
+                PageOp::UnitRead { unit: 0, page: PageId(2) },
+            ]
+        );
+        assert_eq!(bm.stats().write_buffer_absorbed, 1);
+        assert_eq!(bm.write_buffer_pages(), 1);
+        // Completion of the async write makes the frame clean again.
+        bm.async_write_complete(PageId(1));
+    }
+
+    #[test]
+    fn full_write_buffer_falls_back_to_synchronous_writes() {
+        let cfg = disk_config(1).with_nvem_write_buffer(2);
+        let mut bm = BufferManager::new(cfg);
+        // Three dirty evictions without any async completion: the third one
+        // finds the write buffer full of pending pages.
+        bm.reference_page(0, PageId(1), true);
+        bm.reference_page(0, PageId(2), true); // evicts 1 → WB
+        bm.reference_page(0, PageId(3), true); // evicts 2 → WB
+        let out = bm.reference_page(0, PageId(4), true); // evicts 3 → overflow
+        assert!(out
+            .ops
+            .contains(&PageOp::UnitWrite { unit: 0, page: PageId(3) }));
+        assert_eq!(bm.stats().write_buffer_overflows, 1);
+        // After a completion there is room again.
+        bm.async_write_complete(PageId(1));
+        let out = bm.reference_page(0, PageId(5), true); // evicts 4
+        assert!(out
+            .ops
+            .contains(&PageOp::UnitWriteAsync { unit: 0, page: PageId(4) }));
+    }
+
+    #[test]
+    fn noforce_nvem_cache_is_exclusive() {
+        let cfg = disk_config(2).with_nvem_cache(4, SecondLevelMode::All);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), true);
+        bm.reference_page(0, PageId(2), false);
+        // Page 3 evicts page 1 → migrates to NVEM cache (dirty → async write).
+        let out = bm.reference_page(0, PageId(3), false);
+        assert_eq!(
+            out.ops,
+            vec![
+                PageOp::NvemTransfer { page: PageId(1), to_nvem: true },
+                PageOp::UnitWriteAsync { unit: 0, page: PageId(1) },
+                PageOp::UnitRead { unit: 0, page: PageId(3) },
+            ]
+        );
+        assert!(bm.nvem_contains(PageId(1)));
+        assert!(!bm.mm_contains(PageId(1)));
+        // Re-referencing page 1: NVEM hit, page moves back to main memory and
+        // is removed from the NVEM cache (exclusive caching).
+        let out = bm.reference_page(0, PageId(1), false);
+        assert!(out.nvem_cache_hit);
+        assert_eq!(out.ops.len(), 2); // eviction of page 2 (clean → dropped) has no op
+        assert!(matches!(
+            out.ops.last(),
+            Some(PageOp::NvemTransfer { to_nvem: false, .. })
+        ));
+        assert!(!bm.nvem_contains(PageId(1)));
+        assert!(bm.mm_contains(PageId(1)));
+        assert_eq!(bm.stats().migrations_from_nvem, 1);
+    }
+
+    #[test]
+    fn force_nvem_cache_replicates_pages() {
+        let cfg = disk_config(4)
+            .with_nvem_cache(4, SecondLevelMode::All)
+            .with_update_strategy(UpdateStrategy::Force);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), true);
+        let ops = bm.force_page(0, PageId(1));
+        assert_eq!(
+            ops,
+            vec![
+                PageOp::NvemTransfer { page: PageId(1), to_nvem: true },
+                PageOp::UnitWriteAsync { unit: 0, page: PageId(1) },
+            ]
+        );
+        // The page stays in main memory *and* in the NVEM cache.
+        assert!(bm.mm_contains(PageId(1)));
+        assert!(bm.nvem_contains(PageId(1)));
+        assert!(!bm.mm_is_dirty(PageId(1)));
+        assert_eq!(bm.stats().forced_pages, 1);
+        // Under FORCE an NVEM hit does not remove the NVEM copy.
+        // Evict page 1 from MM first (clean now, so it is silently dropped).
+        bm.reference_page(0, PageId(2), false);
+        bm.reference_page(0, PageId(3), false);
+        bm.reference_page(0, PageId(4), false);
+        bm.reference_page(0, PageId(5), false);
+        assert!(!bm.mm_contains(PageId(1)));
+        let out = bm.reference_page(0, PageId(1), false);
+        assert!(out.nvem_cache_hit);
+        assert!(bm.nvem_contains(PageId(1)));
+    }
+
+    #[test]
+    fn force_page_without_dirty_copy_is_a_noop() {
+        let cfg = disk_config(4).with_update_strategy(UpdateStrategy::Force);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), false);
+        assert!(bm.force_page(0, PageId(1)).is_empty());
+        assert!(bm.force_page(0, PageId(99)).is_empty());
+        assert_eq!(bm.stats().forced_pages, 0);
+    }
+
+    #[test]
+    fn force_page_without_nvem_goes_to_disk_synchronously() {
+        let cfg = disk_config(4).with_update_strategy(UpdateStrategy::Force);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(1, PageId(7), true);
+        let ops = bm.force_page(1, PageId(7));
+        assert_eq!(ops, vec![PageOp::UnitWrite { unit: 0, page: PageId(7) }]);
+        assert!(!bm.mm_is_dirty(PageId(7)));
+        // Forcing again is a no-op (already clean).
+        assert!(bm.force_page(1, PageId(7)).is_empty());
+    }
+
+    #[test]
+    fn migration_mode_only_modified_drops_clean_victims() {
+        let cfg = disk_config(1).with_nvem_cache(4, SecondLevelMode::OnlyModified);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), false); // clean
+        let out = bm.reference_page(0, PageId(2), true);
+        // Clean victim is dropped, not migrated.
+        assert_eq!(out.ops, vec![PageOp::UnitRead { unit: 0, page: PageId(2) }]);
+        assert!(!bm.nvem_contains(PageId(1)));
+        // Dirty victim migrates.
+        let out = bm.reference_page(0, PageId(3), false);
+        assert!(out.ops.contains(&PageOp::NvemTransfer { page: PageId(2), to_nvem: true }));
+        assert!(bm.nvem_contains(PageId(2)));
+    }
+
+    #[test]
+    fn nvem_cache_prefers_replacing_clean_frames() {
+        let cfg = disk_config(1).with_nvem_cache(2, SecondLevelMode::All);
+        let mut bm = BufferManager::new(cfg);
+        // Create three migrations: 1 dirty, 2 clean, 3 clean.
+        bm.reference_page(0, PageId(1), true);
+        bm.reference_page(0, PageId(2), false); // evicts 1 (dirty) → NVEM
+        bm.reference_page(0, PageId(3), false); // evicts 2 (clean) → NVEM
+        assert!(bm.nvem_contains(PageId(1)) && bm.nvem_contains(PageId(2)));
+        // Next migration must replace page 2 (clean) and keep page 1 (pending
+        // disk update).
+        bm.reference_page(0, PageId(4), false); // evicts 3 → NVEM
+        assert!(bm.nvem_contains(PageId(1)));
+        assert!(!bm.nvem_contains(PageId(2)));
+        assert!(bm.nvem_contains(PageId(3)));
+        // After the async write of page 1 completes it becomes replaceable.
+        bm.async_write_complete(PageId(1));
+        bm.reference_page(0, PageId(5), false); // evicts 4 → NVEM replaces 1
+        assert!(!bm.nvem_contains(PageId(1)));
+    }
+
+    #[test]
+    fn per_partition_hit_ratios_are_tracked_separately() {
+        let mut bm = BufferManager::new(disk_config(10));
+        bm.reference_page(0, PageId(1), false);
+        bm.reference_page(0, PageId(1), false);
+        bm.reference_page(1, PageId(500), false);
+        let s = bm.stats();
+        assert_eq!(s.per_partition[0].references, 2);
+        assert!((s.per_partition[0].mm_hit_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(s.per_partition[1].references, 1);
+        assert_eq!(s.per_partition[1].mm_hits, 0);
+        assert_eq!(s.references(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_panics() {
+        let mut cfg = disk_config(10);
+        cfg.mm_buffer_pages = 0;
+        let _ = BufferManager::new(cfg);
+    }
+
+    #[test]
+    fn reset_stats_keeps_buffer_contents() {
+        let mut bm = BufferManager::new(disk_config(10));
+        bm.reference_page(0, PageId(1), false);
+        bm.reset_stats();
+        assert_eq!(bm.stats().references(), 0);
+        assert!(bm.mm_contains(PageId(1)));
+        let out = bm.reference_page(0, PageId(1), false);
+        assert!(out.main_memory_hit);
+    }
+}

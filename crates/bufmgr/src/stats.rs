@@ -1,0 +1,137 @@
+//! Buffer-manager statistics: main-memory and NVEM hit ratios (globally and
+//! per partition), replacement and write-back counts.  Table 4.2 and the
+//! hit-ratio plots of Fig. 4.5/4.6 are produced from these counters.
+
+/// Per-partition reference counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartitionBufferStats {
+    /// Page references for the partition (one per object access).
+    pub references: u64,
+    /// References satisfied in main memory (including memory-resident
+    /// partitions).
+    pub mm_hits: u64,
+    /// References satisfied by the second-level NVEM cache.
+    pub nvem_hits: u64,
+}
+
+impl PartitionBufferStats {
+    /// Main-memory hit ratio.
+    pub fn mm_hit_ratio(&self) -> f64 {
+        ratio(self.mm_hits, self.references)
+    }
+
+    /// Additional NVEM hit ratio (relative to all references).
+    pub fn nvem_hit_ratio(&self) -> f64 {
+        ratio(self.nvem_hits, self.references)
+    }
+}
+
+/// Global buffer-manager statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BufferStats {
+    /// Per-partition counters.
+    pub per_partition: Vec<PartitionBufferStats>,
+    /// Pages evicted from the main-memory buffer.
+    pub mm_evictions: u64,
+    /// Evicted pages that were dirty and required a write-back.
+    pub dirty_evictions: u64,
+    /// Pages that migrated from main memory to the NVEM cache.
+    pub migrations_to_nvem: u64,
+    /// Pages that migrated from the NVEM cache back to main memory.
+    pub migrations_from_nvem: u64,
+    /// Writes absorbed by the NVEM write buffer.
+    pub write_buffer_absorbed: u64,
+    /// Writes that bypassed a full NVEM write buffer and went to disk
+    /// synchronously.
+    pub write_buffer_overflows: u64,
+    /// Pages forced at commit time (FORCE strategy).
+    pub forced_pages: u64,
+}
+
+impl BufferStats {
+    /// Creates zeroed statistics for `num_partitions` partitions.
+    pub fn new(num_partitions: usize) -> Self {
+        Self {
+            per_partition: vec![PartitionBufferStats::default(); num_partitions],
+            ..Self::default()
+        }
+    }
+
+    /// Total page references.
+    pub fn references(&self) -> u64 {
+        self.per_partition.iter().map(|p| p.references).sum()
+    }
+
+    /// Global main-memory hit ratio.
+    pub fn mm_hit_ratio(&self) -> f64 {
+        ratio(
+            self.per_partition.iter().map(|p| p.mm_hits).sum(),
+            self.references(),
+        )
+    }
+
+    /// Global additional hit ratio in the second-level NVEM cache.
+    pub fn nvem_hit_ratio(&self) -> f64 {
+        ratio(
+            self.per_partition.iter().map(|p| p.nvem_hits).sum(),
+            self.references(),
+        )
+    }
+
+    /// Combined hit ratio of main memory and NVEM cache.
+    pub fn combined_hit_ratio(&self) -> f64 {
+        self.mm_hit_ratio() + self.nvem_hit_ratio()
+    }
+
+    /// Resets every counter (end of warm-up).
+    pub fn reset(&mut self) {
+        let n = self.per_partition.len();
+        *self = Self::new(n);
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratios() {
+        let mut s = BufferStats::new(2);
+        s.per_partition[0].references = 80;
+        s.per_partition[0].mm_hits = 60;
+        s.per_partition[0].nvem_hits = 10;
+        s.per_partition[1].references = 20;
+        s.per_partition[1].mm_hits = 10;
+        assert_eq!(s.references(), 100);
+        assert!((s.mm_hit_ratio() - 0.7).abs() < 1e-12);
+        assert!((s.nvem_hit_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.combined_hit_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.per_partition[0].mm_hit_ratio() - 0.75).abs() < 1e-12);
+        assert!((s.per_partition[0].nvem_hit_ratio() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_ratios() {
+        let s = BufferStats::new(1);
+        assert_eq!(s.mm_hit_ratio(), 0.0);
+        assert_eq!(s.nvem_hit_ratio(), 0.0);
+        assert_eq!(s.per_partition[0].mm_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = BufferStats::new(3);
+        s.per_partition[2].references = 5;
+        s.mm_evictions = 7;
+        s.reset();
+        assert_eq!(s, BufferStats::new(3));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the buffer manager invariants.
+
+use bufmgr::{BufferConfig, BufferManager, PageOp, SecondLevelMode, UpdateStrategy};
+use dbmodel::database::PartitionSpec;
+use dbmodel::{Database, PageId};
+use proptest::prelude::*;
+
+fn database() -> Database {
+    Database::from_specs(vec![
+        PartitionSpec::uniform("A", 10_000, 10),
+        PartitionSpec::uniform("B", 10_000, 10),
+    ])
+}
+
+fn check_invariants(bm: &BufferManager, mm_cap: usize, nvem_cap: usize) -> Result<(), TestCaseError> {
+    prop_assert!(bm.mm_pages() <= mm_cap);
+    prop_assert!(bm.nvem_pages() <= nvem_cap.max(1));
+    let s = bm.stats();
+    let mm_hits: u64 = s.per_partition.iter().map(|p| p.mm_hits).sum();
+    let nvem_hits: u64 = s.per_partition.iter().map(|p| p.nvem_hits).sum();
+    prop_assert!(mm_hits + nvem_hits <= s.references());
+    prop_assert!(s.dirty_evictions <= s.mm_evictions);
+    Ok(())
+}
+
+proptest! {
+    /// Under NOFORCE with an NVEM cache, a page is never cached in main memory
+    /// and the NVEM cache at the same time (exclusive caching), buffers never
+    /// exceed their capacity, and every dirty eviction produces exactly one
+    /// write (synchronous or asynchronous).
+    #[test]
+    fn noforce_exclusive_caching_invariants(
+        mm_cap in 1usize..12,
+        nvem_cap in 1usize..12,
+        refs in proptest::collection::vec((0u64..40, any::<bool>()), 1..400),
+    ) {
+        let db = database();
+        let cfg = BufferConfig::disk_based(&db, mm_cap)
+            .with_nvem_cache(nvem_cap, SecondLevelMode::All);
+        let mut bm = BufferManager::new(cfg);
+        for (page, is_write) in refs {
+            let out = bm.reference_page(0, PageId(page), is_write);
+            // Exclusive caching: the referenced page is in MM, not in NVEM.
+            prop_assert!(bm.mm_contains(PageId(page)));
+            prop_assert!(!bm.nvem_contains(PageId(page)));
+            // Any UnitWrite/UnitWriteAsync in the ops refers to a page that is
+            // no longer dirty in main memory (it was evicted or forced).
+            for op in &out.ops {
+                if let PageOp::UnitWrite { page, .. } | PageOp::UnitWriteAsync { page, .. } = op {
+                    prop_assert!(!bm.mm_is_dirty(*page));
+                }
+            }
+            check_invariants(&bm, mm_cap, nvem_cap)?;
+        }
+    }
+
+    /// Under FORCE, committing (forcing) every written page leaves no dirty
+    /// frames behind, regardless of the reference pattern.
+    #[test]
+    fn force_leaves_no_dirty_pages(
+        mm_cap in 2usize..16,
+        txs in proptest::collection::vec(
+            proptest::collection::vec((0u64..30, any::<bool>()), 1..8),
+            1..60,
+        ),
+    ) {
+        let db = database();
+        let cfg = BufferConfig::disk_based(&db, mm_cap)
+            .with_update_strategy(UpdateStrategy::Force);
+        let mut bm = BufferManager::new(cfg);
+        for tx in txs {
+            let mut written = Vec::new();
+            for (page, is_write) in &tx {
+                bm.reference_page(0, PageId(*page), *is_write);
+                if *is_write {
+                    written.push(PageId(*page));
+                }
+            }
+            written.sort_unstable();
+            written.dedup();
+            for page in written {
+                bm.force_page(0, page);
+                prop_assert!(!bm.mm_is_dirty(page));
+            }
+        }
+        // After forcing every transaction's pages, no page is dirty.
+        for p in 0..30u64 {
+            prop_assert!(!bm.mm_is_dirty(PageId(p)), "page {p} still dirty");
+        }
+    }
+
+    /// The write buffer absorbs at most its capacity of concurrently pending
+    /// writes; overflows fall back to synchronous writes but never lose a
+    /// write-back (each dirty eviction produces exactly one write op).
+    #[test]
+    fn write_buffer_conservation(
+        wb_cap in 1usize..6,
+        pages in proptest::collection::vec(0u64..50, 1..300),
+    ) {
+        let db = database();
+        let cfg = BufferConfig::disk_based(&db, 1).with_nvem_write_buffer(wb_cap);
+        let mut bm = BufferManager::new(cfg);
+        let mut dirty_evictions_writes = 0u64;
+        for page in pages {
+            // Every reference is a write with a 1-frame buffer: each new page
+            // evicts the previous dirty page.
+            let out = bm.reference_page(0, PageId(page), true);
+            let writes = out.ops.iter().filter(|o| matches!(o,
+                PageOp::UnitWrite { .. } | PageOp::UnitWriteAsync { .. })).count();
+            dirty_evictions_writes += writes as u64;
+        }
+        let s = bm.stats();
+        prop_assert_eq!(s.dirty_evictions, dirty_evictions_writes);
+        prop_assert!(bm.write_buffer_pages() <= wb_cap);
+        prop_assert_eq!(s.write_buffer_absorbed + s.write_buffer_overflows, s.dirty_evictions);
+    }
+}

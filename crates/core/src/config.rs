@@ -1,0 +1,247 @@
+//! Simulation configuration: the CM parameters of Table 3.3, the external
+//! storage parameters of Table 3.4, and the run control (arrival rate,
+//! warm-up, measurement interval, RNG seed).
+
+use bufmgr::BufferConfig;
+use lockmgr::CcMode;
+use simkernel::time::SimTime;
+use storage::{DiskUnitParams, NvemParams};
+
+/// CM (computing module) parameters — Table 3.3 / Table 4.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmParams {
+    /// Multiprogramming level: maximum number of concurrently active
+    /// transactions; excess arrivals wait in the input queue.
+    pub mpl: usize,
+    /// Average instructions for begin-of-transaction processing.
+    pub instr_bot: f64,
+    /// Average instructions per object reference.
+    pub instr_or: f64,
+    /// Average instructions for end-of-transaction (commit) processing.
+    pub instr_eot: f64,
+    /// Average instructions of operating-system/DBMS overhead per I/O.
+    pub instr_io: f64,
+    /// Number of CPUs.
+    pub num_cpus: usize,
+    /// MIPS rate per CPU.
+    pub mips: f64,
+    /// Whether logging is performed (one log page write per update
+    /// transaction at commit).
+    pub logging: bool,
+}
+
+impl Default for CmParams {
+    fn default() -> Self {
+        // Defaults of Table 4.1: 4 CPUs of 50 MIPS, 40k/40k/50k instruction
+        // BOT/reference/EOT costs, 3,000 instructions per I/O.
+        Self {
+            mpl: 200,
+            instr_bot: 40_000.0,
+            instr_or: 40_000.0,
+            instr_eot: 50_000.0,
+            instr_io: 3_000.0,
+            num_cpus: 4,
+            mips: 50.0,
+            logging: true,
+        }
+    }
+}
+
+impl CmParams {
+    /// Aggregate CPU capacity in MIPS.
+    pub fn total_mips(&self) -> f64 {
+        self.num_cpus as f64 * self.mips
+    }
+
+    /// Average instruction path length of a transaction with `accesses` object
+    /// references, excluding I/O overhead (250,000 instructions for the
+    /// four-access Debit-Credit transaction).
+    pub fn path_length(&self, accesses: usize) -> f64 {
+        self.instr_bot + self.instr_eot + accesses as f64 * self.instr_or
+    }
+
+    /// Theoretical maximum transaction rate for transactions of `accesses`
+    /// object references, ignoring all I/O (800 TPS in §4.1).
+    pub fn max_tps(&self, accesses: usize) -> f64 {
+        self.total_mips() * 1.0e6 / self.path_length(accesses)
+    }
+}
+
+/// Where the log file is allocated (§3.3: "NVEM-resident, SSD, disk with a
+/// write buffer either in NVEM or in disk cache, or on disk without using a
+/// write buffer"; SSD and cached disks are expressed through the disk-unit
+/// kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogAllocation {
+    /// The log is kept in non-volatile extended memory.
+    Nvem,
+    /// The log is written to the given disk unit (regular disk, cached disk or
+    /// SSD depending on the unit's kind).
+    DiskUnit(usize),
+    /// The log is written to the given disk unit but the log pages first go
+    /// through the NVEM write buffer (asynchronous disk update).
+    DiskUnitViaNvemWriteBuffer(usize),
+}
+
+/// Complete configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationConfig {
+    /// CM parameters.
+    pub cm: CmParams,
+    /// NVEM device parameters.
+    pub nvem: NvemParams,
+    /// The disk units of the configuration (indexed by the ids used in
+    /// [`bufmgr::PageLocation::DiskUnit`] and [`LogAllocation::DiskUnit`]).
+    pub disk_units: Vec<DiskUnitParams>,
+    /// Log allocation.
+    pub log_allocation: LogAllocation,
+    /// Buffer-manager configuration (buffer sizes, update strategy,
+    /// per-partition allocation and NVEM usage).
+    pub buffer: BufferConfig,
+    /// Concurrency-control mode per partition.
+    pub cc_modes: Vec<CcMode>,
+    /// Transaction arrival rate in transactions per second (open system,
+    /// Poisson arrivals).
+    pub arrival_rate_tps: f64,
+    /// Warm-up interval (statistics are discarded), in ms.
+    pub warmup_ms: SimTime,
+    /// Measurement interval, in ms.
+    pub measure_ms: SimTime,
+    /// RNG seed (a run is fully determined by configuration + seed).
+    pub seed: u64,
+}
+
+impl SimulationConfig {
+    /// Basic consistency checks.  Returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.arrival_rate_tps <= 0.0 {
+            return Err("arrival rate must be positive".into());
+        }
+        if self.cm.num_cpus == 0 || self.cm.mips <= 0.0 {
+            return Err("CPU configuration must have capacity".into());
+        }
+        if self.cm.mpl == 0 {
+            return Err("multiprogramming level must be at least 1".into());
+        }
+        if self.measure_ms <= 0.0 {
+            return Err("measurement interval must be positive".into());
+        }
+        self.buffer.validate()?;
+        // Every disk-unit reference must exist.
+        let check_unit = |u: usize, what: &str| -> Result<(), String> {
+            if u >= self.disk_units.len() {
+                Err(format!("{what} references unknown disk unit {u}"))
+            } else {
+                Ok(())
+            }
+        };
+        match self.log_allocation {
+            LogAllocation::Nvem => {}
+            LogAllocation::DiskUnit(u) | LogAllocation::DiskUnitViaNvemWriteBuffer(u) => {
+                check_unit(u, "log allocation")?;
+            }
+        }
+        for (i, p) in self.buffer.partitions.iter().enumerate() {
+            if let bufmgr::PageLocation::DiskUnit(u) = p.location {
+                check_unit(u, &format!("partition {i}"))?;
+            }
+        }
+        if matches!(
+            self.log_allocation,
+            LogAllocation::DiskUnitViaNvemWriteBuffer(_)
+        ) && self.buffer.nvem_write_buffer_pages == 0
+        {
+            return Err("log via NVEM write buffer requires a write buffer size".into());
+        }
+        Ok(())
+    }
+
+    /// Total simulated time of the run (warm-up plus measurement).
+    pub fn total_time_ms(&self) -> SimTime {
+        self.warmup_ms + self.measure_ms
+    }
+
+    /// Expected number of arrivals over the whole run (diagnostic).
+    pub fn expected_arrivals(&self) -> f64 {
+        self.arrival_rate_tps * self.total_time_ms() / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufmgr::PartitionPolicy;
+    use storage::DiskUnitKind;
+
+    fn minimal_config() -> SimulationConfig {
+        SimulationConfig {
+            cm: CmParams::default(),
+            nvem: NvemParams::default(),
+            disk_units: vec![DiskUnitParams::database_disks(DiskUnitKind::Regular, 2, 8)],
+            log_allocation: LogAllocation::DiskUnit(0),
+            buffer: BufferConfig {
+                mm_buffer_pages: 100,
+                nvem_cache_pages: 0,
+                nvem_write_buffer_pages: 0,
+                update_strategy: bufmgr::UpdateStrategy::NoForce,
+                partitions: vec![PartitionPolicy::on_disk_unit(0)],
+            },
+            cc_modes: vec![CcMode::Page],
+            arrival_rate_tps: 100.0,
+            warmup_ms: 1000.0,
+            measure_ms: 5000.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn cm_defaults_match_table_4_1() {
+        let cm = CmParams::default();
+        assert_eq!(cm.total_mips(), 200.0);
+        assert_eq!(cm.path_length(4), 250_000.0);
+        assert!((cm.max_tps(4) - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimal_config_validates() {
+        assert!(minimal_config().validate().is_ok());
+        assert!((minimal_config().total_time_ms() - 6000.0).abs() < 1e-9);
+        assert!((minimal_config().expected_arrivals() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_bad_arrival_rate() {
+        let mut c = minimal_config();
+        c.arrival_rate_tps = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_unknown_disk_unit() {
+        let mut c = minimal_config();
+        c.log_allocation = LogAllocation::DiskUnit(5);
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.buffer.partitions[0] = PartitionPolicy::on_disk_unit(3);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_log_write_buffer_without_size() {
+        let mut c = minimal_config();
+        c.log_allocation = LogAllocation::DiskUnitViaNvemWriteBuffer(0);
+        assert!(c.validate().is_err());
+        c.buffer.nvem_write_buffer_pages = 100;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_zero_mpl_and_cpus() {
+        let mut c = minimal_config();
+        c.cm.mpl = 0;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.cm.num_cpus = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! In-flight I/O requests.
+//!
+//! An I/O request carries the remaining service stages decided by the disk
+//! unit (controller → disk → transmission), the transaction waiting for it (if
+//! any), and the follow-up work to perform on completion (waking the waiter,
+//! notifying the buffer manager about an asynchronous write, spawning the
+//! background destage of an absorbed write).
+
+use std::collections::VecDeque;
+
+use dbmodel::PageId;
+use simkernel::time::SimTime;
+use storage::ServiceStage;
+
+/// Which of the unit's resources the request currently holds (or waits for).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HeldResource {
+    /// A controller of the unit.
+    Controller,
+    /// A disk server of the unit.
+    Disk,
+}
+
+/// One in-flight I/O request.
+#[derive(Debug)]
+pub(crate) struct IoRequest {
+    /// The disk unit serving the request.
+    pub unit: usize,
+    /// The page concerned.
+    pub page: PageId,
+    /// Transaction slot waiting for the foreground part, if any.
+    pub waiter: Option<usize>,
+    /// Remaining foreground stages.
+    pub remaining: VecDeque<ServiceStage>,
+    /// Background stages to run after the foreground completes (destage of an
+    /// absorbed write).
+    pub background: Vec<ServiceStage>,
+    /// Tell the buffer manager when this (asynchronous) write completes.
+    pub notify_bufmgr: bool,
+    /// Decrement the engine's log-write-buffer occupancy on completion.
+    pub log_wb: bool,
+    /// This request *is* a background destage; completion updates the disk
+    /// unit's cache state.
+    pub is_destage: bool,
+    /// Resource currently held (or queued for).
+    pub held: Option<HeldResource>,
+    /// Service time of the stage waiting for a resource grant.
+    pub pending_service: SimTime,
+}
+
+impl IoRequest {
+    /// Creates a request from a stage list.
+    pub fn new(
+        unit: usize,
+        page: PageId,
+        stages: Vec<ServiceStage>,
+        waiter: Option<usize>,
+    ) -> Self {
+        Self {
+            unit,
+            page,
+            waiter,
+            remaining: stages.into(),
+            background: Vec::new(),
+            notify_bufmgr: false,
+            log_wb: false,
+            is_destage: false,
+            held: None,
+            pending_service: 0.0,
+        }
+    }
+
+    /// Attaches background (destage) stages.
+    pub fn with_background(mut self, background: Vec<ServiceStage>) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Marks the request as an asynchronous write the buffer manager tracks.
+    pub fn with_bufmgr_notification(mut self) -> Self {
+        self.notify_bufmgr = true;
+        self
+    }
+
+    /// Marks the request as a log write going through the NVEM write buffer.
+    pub fn with_log_wb(mut self) -> Self {
+        self.log_wb = true;
+        self
+    }
+
+    /// Marks the request as a background destage.
+    pub fn as_destage(mut self) -> Self {
+        self.is_destage = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_flags() {
+        let io = IoRequest::new(2, PageId(7), vec![ServiceStage::Disk(5.0)], Some(3))
+            .with_background(vec![ServiceStage::Disk(5.0)])
+            .with_bufmgr_notification()
+            .with_log_wb();
+        assert_eq!(io.unit, 2);
+        assert_eq!(io.waiter, Some(3));
+        assert_eq!(io.remaining.len(), 1);
+        assert_eq!(io.background.len(), 1);
+        assert!(io.notify_bufmgr);
+        assert!(io.log_wb);
+        assert!(!io.is_destage);
+        let destage = IoRequest::new(0, PageId(1), vec![], None).as_destage();
+        assert!(destage.is_destage);
+        assert!(destage.waiter.is_none());
+    }
+}

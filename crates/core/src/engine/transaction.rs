@@ -1,0 +1,217 @@
+//! Per-transaction execution state.
+//!
+//! A transaction progresses through BOT processing, its object references
+//! (CPU burst → lock request → buffer fetch with possible I/O), and commit
+//! processing (EOT burst, log write, FORCE writes, lock release).  The engine
+//! drives this as a queue of *micro operations*; whenever the queue runs dry
+//! the transaction's phase generates the next batch.
+
+use std::collections::VecDeque;
+
+use dbmodel::{PageId, TransactionTemplate};
+use simkernel::time::SimTime;
+use storage::IoKind;
+
+/// One step of a transaction that the engine knows how to execute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum MicroOp {
+    /// Acquire a CPU, stay busy for `ms` milliseconds, release.  `nvem` marks
+    /// bursts that represent a synchronous NVEM page transfer (for NVEM
+    /// utilization accounting).
+    CpuBurst { ms: SimTime, nvem: bool },
+    /// Issue an I/O at disk unit `unit`.  With `wait` the transaction blocks
+    /// until the foreground part completes; with `notify` the buffer manager
+    /// is informed when the (asynchronous) write finishes.  `log_wb` marks
+    /// asynchronous log writes going through the NVEM write buffer.
+    IssueIo {
+        unit: usize,
+        kind: IoKind,
+        page: PageId,
+        wait: bool,
+        notify: bool,
+        log_wb: bool,
+    },
+    /// Request the lock for object reference `ref_idx`.
+    Lock { ref_idx: usize },
+    /// Write the commit log record (resolved against the log allocation).
+    LogWrite,
+    /// FORCE strategy: write all pages modified by the transaction.
+    ForcePages,
+    /// Finish the transaction: release locks, record statistics, free the slot.
+    Complete,
+}
+
+/// Coarse execution phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxPhase {
+    /// The transaction still has to perform object reference `next_ref` (BOT
+    /// processing happens before reference 0).
+    BeforeAccess { next_ref: usize },
+    /// All commit-time micro operations have been queued.
+    Committing,
+}
+
+/// What the transaction is currently waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxState {
+    /// Ready to execute the next micro operation.
+    Ready,
+    /// Queued at the CPU resource.
+    WaitingCpu,
+    /// Currently holding a CPU (a `CpuDone` event is scheduled).
+    RunningCpu,
+    /// Blocked on a lock request.
+    WaitingLock,
+    /// Waiting for a synchronous I/O to complete.
+    WaitingIo,
+}
+
+/// The dynamic state of one active transaction.
+#[derive(Debug)]
+pub(crate) struct Transaction {
+    /// Globally unique transaction identifier (used by the lock manager).
+    pub id: u64,
+    /// The transaction's reference string.
+    pub template: TransactionTemplate,
+    /// Arrival time at the SOURCE (response time is measured from here).
+    pub arrival: SimTime,
+    /// Coarse phase.
+    pub phase: TxPhase,
+    /// Pending micro operations.
+    pub micro: VecDeque<MicroOp>,
+    /// Wait state.
+    pub state: TxState,
+    /// CPU burst length waiting for a CPU grant.
+    pub pending_burst: SimTime,
+    /// Whether the pending burst is an NVEM transfer.
+    pub pending_burst_nvem: bool,
+    /// Object reference index whose lock request is outstanding.
+    pub pending_lock_ref: Option<usize>,
+    /// Number of deadlock-induced restarts.
+    pub restarts: u32,
+}
+
+impl Transaction {
+    /// Creates a freshly arrived transaction.
+    pub fn new(id: u64, template: TransactionTemplate, arrival: SimTime) -> Self {
+        Self {
+            id,
+            template,
+            arrival,
+            phase: TxPhase::BeforeAccess { next_ref: 0 },
+            micro: VecDeque::new(),
+            state: TxState::Ready,
+            pending_burst: 0.0,
+            pending_burst_nvem: false,
+            pending_lock_ref: None,
+            restarts: 0,
+        }
+    }
+
+    /// Resets the transaction for a restart after a deadlock abort.  The
+    /// reference string and arrival time are kept, so the response time keeps
+    /// accumulating across restarts.
+    pub fn restart(&mut self) {
+        self.phase = TxPhase::BeforeAccess { next_ref: 0 };
+        self.micro.clear();
+        self.state = TxState::Ready;
+        self.pending_lock_ref = None;
+        self.restarts += 1;
+    }
+
+    /// Pushes a batch of micro operations to the *front* of the queue,
+    /// preserving their order (used when one operation expands into several,
+    /// e.g. a buffer fetch that needs a victim write-back plus a read).
+    pub fn push_ops_front(&mut self, ops: Vec<MicroOp>) {
+        for op in ops.into_iter().rev() {
+            self.micro.push_front(op);
+        }
+    }
+
+    /// Distinct (partition, page) pairs written by the transaction, used by
+    /// the FORCE strategy at commit.
+    pub fn written_pages(&self) -> Vec<(usize, PageId)> {
+        let mut pages: Vec<(usize, PageId)> = self
+            .template
+            .refs
+            .iter()
+            .filter(|r| r.mode.is_write())
+            .map(|r| (r.partition, r.page))
+            .collect();
+        pages.sort_unstable_by_key(|(p, page)| (*p, page.0));
+        pages.dedup();
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::{AccessMode, ObjectId, ObjectRef};
+
+    fn template() -> TransactionTemplate {
+        TransactionTemplate {
+            tx_type: 0,
+            refs: vec![
+                ObjectRef {
+                    partition: 0,
+                    page: PageId(1),
+                    object: ObjectId(10),
+                    mode: AccessMode::Write,
+                },
+                ObjectRef {
+                    partition: 1,
+                    page: PageId(2),
+                    object: ObjectId(20),
+                    mode: AccessMode::Read,
+                },
+                ObjectRef {
+                    partition: 0,
+                    page: PageId(1),
+                    object: ObjectId(11),
+                    mode: AccessMode::Write,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn written_pages_are_distinct() {
+        let tx = Transaction::new(1, template(), 0.0);
+        assert_eq!(tx.written_pages(), vec![(0, PageId(1))]);
+    }
+
+    #[test]
+    fn restart_resets_progress_but_keeps_arrival() {
+        let mut tx = Transaction::new(1, template(), 42.0);
+        tx.phase = TxPhase::Committing;
+        tx.micro.push_back(MicroOp::Complete);
+        tx.pending_lock_ref = Some(2);
+        tx.restart();
+        assert_eq!(tx.phase, TxPhase::BeforeAccess { next_ref: 0 });
+        assert!(tx.micro.is_empty());
+        assert_eq!(tx.pending_lock_ref, None);
+        assert_eq!(tx.restarts, 1);
+        assert_eq!(tx.arrival, 42.0);
+        assert_eq!(tx.state, TxState::Ready);
+    }
+
+    #[test]
+    fn push_ops_front_preserves_order() {
+        let mut tx = Transaction::new(1, template(), 0.0);
+        tx.micro.push_back(MicroOp::Complete);
+        tx.push_ops_front(vec![
+            MicroOp::CpuBurst { ms: 1.0, nvem: false },
+            MicroOp::LogWrite,
+        ]);
+        let order: Vec<MicroOp> = tx.micro.iter().copied().collect();
+        assert_eq!(
+            order,
+            vec![
+                MicroOp::CpuBurst { ms: 1.0, nvem: false },
+                MicroOp::LogWrite,
+                MicroOp::Complete,
+            ]
+        );
+    }
+}

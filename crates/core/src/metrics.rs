@@ -1,0 +1,229 @@
+//! Simulation output: response times, throughput, device utilizations, buffer
+//! hit ratios and lock statistics.  TPSIM "computes detailed statistics on the
+//! composition of response time and device utilization, waiting times, queue
+//! lengths, lock behavior, hit ratios, etc. in order to explain the results"
+//! (§4); this module is the equivalent report.
+
+use bufmgr::BufferStats;
+use lockmgr::LockManagerStats;
+use simkernel::time::SimTime;
+use storage::DiskUnitStats;
+
+/// Summary of the transaction response-time distribution (ms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseTimeStats {
+    /// Number of transactions measured.
+    pub count: u64,
+    /// Mean response time.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Minimum observed response time.
+    pub min: f64,
+    /// Maximum observed response time.
+    pub max: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+}
+
+impl ResponseTimeStats {
+    /// Placeholder used when no transaction completed in the measurement
+    /// interval (e.g. a completely saturated configuration).
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            p95: 0.0,
+        }
+    }
+}
+
+/// Per-disk-unit report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskUnitReport {
+    /// Unit name (e.g. "db-disks", "log-disk").
+    pub name: String,
+    /// Average utilization of the unit's disk servers.
+    pub disk_utilization: f64,
+    /// Average utilization of the unit's controllers.
+    pub controller_utilization: f64,
+    /// Average queueing delay at the disk servers per request (ms).
+    pub avg_disk_wait: SimTime,
+    /// Cache / absorption counters.
+    pub stats: DiskUnitStats,
+}
+
+/// Per-transaction-type response-time summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxTypeReport {
+    /// Transaction type id.
+    pub tx_type: usize,
+    /// Transactions of this type measured.
+    pub count: u64,
+    /// Mean response time (ms).
+    pub mean_response: f64,
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// Configured arrival rate (TPS).
+    pub arrival_rate_tps: f64,
+    /// Transactions completed during the measurement interval.
+    pub completed: u64,
+    /// Transactions aborted (and restarted) due to deadlocks during the
+    /// measurement interval.
+    pub aborts: u64,
+    /// Length of the measurement interval (ms).
+    pub measured_time_ms: SimTime,
+    /// Achieved throughput (transactions per second).
+    pub throughput_tps: f64,
+    /// Response-time summary over all transaction types.
+    pub response_time: ResponseTimeStats,
+    /// Response-time summary per transaction type.
+    pub per_type: Vec<TxTypeReport>,
+    /// Average CPU utilization (0..=1).
+    pub cpu_utilization: f64,
+    /// Average utilization of the NVEM servers (0..=1); 0 when NVEM is unused.
+    pub nvem_utilization: f64,
+    /// Time-average number of active (admitted) transactions.
+    pub avg_active_transactions: f64,
+    /// Time-average number of transactions waiting in the input queue (MPL
+    /// exceeded).
+    pub avg_input_queue: f64,
+    /// Buffer-manager statistics (hit ratios, evictions, migrations).
+    pub buffer: BufferStats,
+    /// Lock-manager statistics (conflicts, deadlocks).
+    pub locks: LockManagerStats,
+    /// Per-disk-unit reports.
+    pub disk_units: Vec<DiskUnitReport>,
+}
+
+impl SimulationReport {
+    /// Global main-memory hit ratio (convenience accessor).
+    pub fn mm_hit_ratio(&self) -> f64 {
+        self.buffer.mm_hit_ratio()
+    }
+
+    /// Global second-level (NVEM) hit ratio.
+    pub fn nvem_hit_ratio(&self) -> f64 {
+        self.buffer.nvem_hit_ratio()
+    }
+
+    /// Read hit ratio of disk unit `unit`.
+    pub fn disk_cache_hit_ratio(&self, unit: usize) -> f64 {
+        self.disk_units
+            .get(unit)
+            .map(|u| u.stats.read_hit_ratio())
+            .unwrap_or(0.0)
+    }
+
+    /// Lock conflict probability per lock request.
+    pub fn lock_conflict_ratio(&self) -> f64 {
+        if self.locks.requests == 0 {
+            0.0
+        } else {
+            self.locks.conflicts as f64 / self.locks.requests as f64
+        }
+    }
+
+    /// A single-line summary useful for sweep tables.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "rate {:>6.1} TPS | thru {:>6.1} TPS | resp {:>8.2} ms | cpu {:>5.1}% | mm-hit {:>5.1}% | nvem-hit {:>4.1}% | conflicts {:>5.2}% | aborts {}",
+            self.arrival_rate_tps,
+            self.throughput_tps,
+            self.response_time.mean,
+            self.cpu_utilization * 100.0,
+            self.mm_hit_ratio() * 100.0,
+            self.nvem_hit_ratio() * 100.0,
+            self.lock_conflict_ratio() * 100.0,
+            self.aborts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_report() -> SimulationReport {
+        SimulationReport {
+            arrival_rate_tps: 100.0,
+            completed: 500,
+            aborts: 2,
+            measured_time_ms: 5000.0,
+            throughput_tps: 100.0,
+            response_time: ResponseTimeStats {
+                count: 500,
+                mean: 25.0,
+                std_dev: 5.0,
+                min: 10.0,
+                max: 80.0,
+                p95: 40.0,
+            },
+            per_type: vec![TxTypeReport {
+                tx_type: 0,
+                count: 500,
+                mean_response: 25.0,
+            }],
+            cpu_utilization: 0.6,
+            nvem_utilization: 0.01,
+            avg_active_transactions: 3.0,
+            avg_input_queue: 0.0,
+            buffer: {
+                let mut b = BufferStats::new(1);
+                b.per_partition[0].references = 100;
+                b.per_partition[0].mm_hits = 70;
+                b.per_partition[0].nvem_hits = 10;
+                b
+            },
+            locks: LockManagerStats {
+                requests: 200,
+                immediate_grants: 190,
+                conflicts: 10,
+                deadlocks: 2,
+                releases: 198,
+            },
+            disk_units: vec![DiskUnitReport {
+                name: "db".into(),
+                disk_utilization: 0.4,
+                controller_utilization: 0.1,
+                avg_disk_wait: 1.0,
+                stats: DiskUnitStats {
+                    reads: 100,
+                    read_hits: 25,
+                    ..Default::default()
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn convenience_accessors() {
+        let r = dummy_report();
+        assert!((r.mm_hit_ratio() - 0.7).abs() < 1e-12);
+        assert!((r.nvem_hit_ratio() - 0.1).abs() < 1e-12);
+        assert!((r.disk_cache_hit_ratio(0) - 0.25).abs() < 1e-12);
+        assert_eq!(r.disk_cache_hit_ratio(5), 0.0);
+        assert!((r.lock_conflict_ratio() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_line_mentions_key_numbers() {
+        let line = dummy_report().summary_line();
+        assert!(line.contains("100.0 TPS"));
+        assert!(line.contains("25.00 ms"));
+        assert!(line.contains("70.0%"));
+    }
+
+    #[test]
+    fn empty_response_time_stats() {
+        let e = ResponseTimeStats::empty();
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean, 0.0);
+    }
+}

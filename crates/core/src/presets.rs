@@ -1,0 +1,622 @@
+//! Ready-made configurations for the experiments of §4 of the paper.
+//!
+//! Every figure and table of the evaluation is driven by one of the builders
+//! in this module (see `DESIGN.md` for the experiment index):
+//!
+//! * Fig. 4.1 — [`log_allocation_config`] with the four [`LogVariant`]s;
+//! * Fig. 4.2 / 4.3 — [`debit_credit_config`] with the six
+//!   [`DebitCreditStorage`] variants and both update strategies;
+//! * Fig. 4.4 / 4.5 and Table 4.2 — [`caching_config`] with the
+//!   [`SecondLevel`] variants;
+//! * Fig. 4.6 / 4.7 — [`trace_config`] with the [`TraceStorage`] variants;
+//! * Fig. 4.8 — [`contention_config`] with the [`ContentionAllocation`]
+//!   variants and both lock granularities.
+
+use bufmgr::{BufferConfig, PartitionPolicy, SecondLevelMode, UpdateStrategy};
+#[cfg(test)]
+use bufmgr::PageLocation;
+use dbmodel::{
+    synthetic, DebitCreditConfig, DebitCreditGenerator, SyntheticTraceSpec, SyntheticWorkload,
+    TraceGenerator,
+};
+use lockmgr::CcMode;
+use simkernel::SimRng;
+use storage::{DiskUnitKind, DiskUnitParams, NvemParams};
+
+use crate::config::{CmParams, LogAllocation, SimulationConfig};
+
+/// Index of the database disk unit in every preset that uses disks.
+pub const DB_UNIT: usize = 0;
+/// Index of the log disk unit in every preset that uses disks.
+pub const LOG_UNIT: usize = 1;
+
+/// Default seed used by the presets (override `config.seed` to vary).
+pub const DEFAULT_SEED: u64 = 216_91;
+
+fn db_disk_unit(kind: DiskUnitKind, cache_pages: usize) -> DiskUnitParams {
+    // Enough controllers and disk servers that the database disks never become
+    // the bottleneck at the studied transaction rates (§4.3: "a sufficiently
+    // high number of disk servers and controllers to avoid bottlenecks").
+    DiskUnitParams::database_disks(kind, 32, 128).with_cache_size(cache_pages.max(1))
+}
+
+fn log_disk_unit(kind: DiskUnitKind, disks: usize, cache_pages: usize) -> DiskUnitParams {
+    DiskUnitParams::log_disks(kind, disks.max(1).min(8), disks).with_cache_size(cache_pages.max(1))
+}
+
+fn debit_credit_cc_modes() -> Vec<CcMode> {
+    // Page-level locking for BRANCH/TELLER and ACCOUNT, no locking for the
+    // HISTORY file (synchronized by latches, §4.1).
+    vec![CcMode::Page, CcMode::Page, CcMode::None]
+}
+
+/// The Debit-Credit workload generator; `scale = 1` is the full paper database
+/// (500 branches, 50 M accounts), larger scale factors shrink it for quick
+/// runs and tests.
+pub fn debit_credit_workload(scale: u64) -> DebitCreditGenerator {
+    let cfg = if scale <= 1 {
+        DebitCreditConfig::default()
+    } else {
+        DebitCreditConfig::scaled_down(scale)
+    };
+    DebitCreditGenerator::new(cfg)
+}
+
+/// Storage allocation alternatives of the database-allocation experiment
+/// (§4.3, Fig. 4.2, also used for the FORCE/NOFORCE comparison of Fig. 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DebitCreditStorage {
+    /// All partitions and the log on regular disks.
+    Disk,
+    /// All partitions and the log on disks whose non-volatile controller
+    /// caches serve as write buffers.
+    DiskWithNvCacheWriteBuffer,
+    /// All partitions and the log on regular disks with a write buffer in
+    /// NVEM.
+    DiskWithNvemWriteBuffer,
+    /// All partitions and the log on solid-state disks.
+    Ssd,
+    /// All partitions and the log resident in NVEM.
+    NvemResident,
+    /// All partitions main-memory resident, log on disk.
+    MemoryResident,
+}
+
+impl DebitCreditStorage {
+    /// All six variants, in the order the paper lists them.
+    pub const ALL: [DebitCreditStorage; 6] = [
+        DebitCreditStorage::Disk,
+        DebitCreditStorage::DiskWithNvCacheWriteBuffer,
+        DebitCreditStorage::DiskWithNvemWriteBuffer,
+        DebitCreditStorage::Ssd,
+        DebitCreditStorage::NvemResident,
+        DebitCreditStorage::MemoryResident,
+    ];
+
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DebitCreditStorage::Disk => "DB+log on disk",
+            DebitCreditStorage::DiskWithNvCacheWriteBuffer => "disk-cache write buffer",
+            DebitCreditStorage::DiskWithNvemWriteBuffer => "NVEM write buffer",
+            DebitCreditStorage::Ssd => "solid-state disk",
+            DebitCreditStorage::NvemResident => "NVEM-resident",
+            DebitCreditStorage::MemoryResident => "main-memory resident, log on disk",
+        }
+    }
+}
+
+/// Configuration for the database-allocation experiment (Fig. 4.2/4.3) with
+/// the Debit-Credit parameter settings of Table 4.1 (2,000-page main-memory
+/// buffer, NOFORCE by default — use
+/// [`BufferConfig::with_update_strategy`] on `config.buffer` for FORCE).
+pub fn debit_credit_config(storage: DebitCreditStorage, arrival_rate_tps: f64) -> SimulationConfig {
+    let num_partitions = 3; // BRANCH/TELLER, ACCOUNT, HISTORY (clustered)
+    let mm_buffer = 2_000;
+    let mut buffer = BufferConfig {
+        mm_buffer_pages: mm_buffer,
+        nvem_cache_pages: 0,
+        nvem_write_buffer_pages: 0,
+        update_strategy: UpdateStrategy::NoForce,
+        partitions: vec![PartitionPolicy::on_disk_unit(DB_UNIT); num_partitions],
+    };
+    let (disk_units, log_allocation) = match storage {
+        DebitCreditStorage::Disk => (
+            vec![
+                db_disk_unit(DiskUnitKind::Regular, 1),
+                log_disk_unit(DiskUnitKind::Regular, 8, 1),
+            ],
+            LogAllocation::DiskUnit(LOG_UNIT),
+        ),
+        DebitCreditStorage::DiskWithNvCacheWriteBuffer => (
+            vec![
+                db_disk_unit(DiskUnitKind::NonVolatileCache, 1_000),
+                log_disk_unit(DiskUnitKind::NonVolatileCache, 8, 500),
+            ],
+            LogAllocation::DiskUnit(LOG_UNIT),
+        ),
+        DebitCreditStorage::DiskWithNvemWriteBuffer => {
+            buffer = buffer.with_nvem_write_buffer(500);
+            (
+                vec![
+                    db_disk_unit(DiskUnitKind::Regular, 1),
+                    log_disk_unit(DiskUnitKind::Regular, 8, 1),
+                ],
+                LogAllocation::DiskUnitViaNvemWriteBuffer(LOG_UNIT),
+            )
+        }
+        DebitCreditStorage::Ssd => (
+            vec![
+                db_disk_unit(DiskUnitKind::Ssd, 1),
+                log_disk_unit(DiskUnitKind::Ssd, 8, 1),
+            ],
+            LogAllocation::DiskUnit(LOG_UNIT),
+        ),
+        DebitCreditStorage::NvemResident => {
+            buffer.partitions = vec![PartitionPolicy::nvem_resident(); num_partitions];
+            (Vec::new(), LogAllocation::Nvem)
+        }
+        DebitCreditStorage::MemoryResident => {
+            buffer.partitions = vec![PartitionPolicy::memory_resident(); num_partitions];
+            (
+                vec![
+                    db_disk_unit(DiskUnitKind::Regular, 1),
+                    log_disk_unit(DiskUnitKind::Regular, 8, 1),
+                ],
+                LogAllocation::DiskUnit(LOG_UNIT),
+            )
+        }
+    };
+    SimulationConfig {
+        cm: CmParams::default(),
+        nvem: NvemParams::default(),
+        disk_units,
+        log_allocation,
+        buffer,
+        cc_modes: debit_credit_cc_modes(),
+        arrival_rate_tps,
+        warmup_ms: 3_000.0,
+        measure_ms: 20_000.0,
+        seed: DEFAULT_SEED,
+    }
+}
+
+/// Log-file allocation alternatives of §4.2 (Fig. 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogVariant {
+    /// Log on a single regular disk.
+    SingleDisk,
+    /// Log on a single disk whose non-volatile cache (500 pages) serves as a
+    /// write buffer.
+    SingleDiskNvCache,
+    /// Log on a solid-state disk.
+    Ssd,
+    /// Log resident in NVEM.
+    Nvem,
+}
+
+impl LogVariant {
+    /// All four variants in paper order.
+    pub const ALL: [LogVariant; 4] = [
+        LogVariant::SingleDisk,
+        LogVariant::SingleDiskNvCache,
+        LogVariant::Ssd,
+        LogVariant::Nvem,
+    ];
+
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LogVariant::SingleDisk => "log on single disk",
+            LogVariant::SingleDiskNvCache => "log on single disk with non-volatile cache",
+            LogVariant::Ssd => "log on SSD",
+            LogVariant::Nvem => "log NVEM-resident",
+        }
+    }
+}
+
+/// Configuration for the log-allocation experiment (Fig. 4.1): database
+/// partitions on regular disks with enough servers to avoid bottlenecks, the
+/// log allocated per [`LogVariant`], NOFORCE.
+pub fn log_allocation_config(variant: LogVariant, arrival_rate_tps: f64) -> SimulationConfig {
+    let mut config = debit_credit_config(DebitCreditStorage::Disk, arrival_rate_tps);
+    match variant {
+        LogVariant::SingleDisk => {
+            config.disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::Regular, 1, 1);
+        }
+        LogVariant::SingleDiskNvCache => {
+            config.disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 1, 500);
+        }
+        LogVariant::Ssd => {
+            config.disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::Ssd, 1, 1);
+        }
+        LogVariant::Nvem => {
+            config.log_allocation = LogAllocation::Nvem;
+        }
+    }
+    config
+}
+
+/// Second-level cache alternatives of the caching experiments
+/// (§4.5, Fig. 4.4/4.5, Table 4.2; §4.6, Fig. 4.6/4.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecondLevel {
+    /// Main-memory caching only, database and log on regular disks.
+    None,
+    /// Volatile disk cache of the given size (pages) on the database disks.
+    VolatileDiskCache(usize),
+    /// Non-volatile disk cache of the given size on the database and log disks.
+    NonVolatileDiskCache(usize),
+    /// Second-level database buffer of the given size in NVEM (log in NVEM).
+    NvemCache(usize),
+    /// Only a write buffer in the non-volatile disk caches (no read caching):
+    /// the disk-cache size is kept minimal so read hits are negligible.
+    DiskCacheWriteBufferOnly,
+}
+
+impl SecondLevel {
+    /// Short label for report tables.
+    pub fn label(&self) -> String {
+        match self {
+            SecondLevel::None => "main memory caching only".to_string(),
+            SecondLevel::VolatileDiskCache(n) => format!("volatile disk cache ({n})"),
+            SecondLevel::NonVolatileDiskCache(n) => format!("non-volatile disk cache ({n})"),
+            SecondLevel::NvemCache(n) => format!("NVEM cache ({n})"),
+            SecondLevel::DiskCacheWriteBufferOnly => "disk-cache write buffer".to_string(),
+        }
+    }
+}
+
+/// Configuration for the Debit-Credit caching experiments: main-memory buffer
+/// of `mm_pages`, the given second-level configuration, FORCE or NOFORCE.
+///
+/// As in the paper, configurations with non-volatile disk caches or NVEM also
+/// use them for logging; the volatile-cache and memory-only configurations log
+/// to a (non-bottleneck) log disk.
+pub fn caching_config(
+    mm_pages: usize,
+    second_level: SecondLevel,
+    force: bool,
+    arrival_rate_tps: f64,
+) -> SimulationConfig {
+    let mut config = debit_credit_config(DebitCreditStorage::Disk, arrival_rate_tps);
+    config.buffer.mm_buffer_pages = mm_pages.max(1);
+    if force {
+        config.buffer.update_strategy = UpdateStrategy::Force;
+    }
+    match second_level {
+        SecondLevel::None => {}
+        SecondLevel::VolatileDiskCache(pages) => {
+            config.disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::VolatileCache, pages);
+        }
+        SecondLevel::NonVolatileDiskCache(pages) => {
+            config.disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::NonVolatileCache, pages);
+            config.disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 8, 500);
+        }
+        SecondLevel::NvemCache(pages) => {
+            config.buffer = config
+                .buffer
+                .with_nvem_cache(pages, SecondLevelMode::All);
+            config.log_allocation = LogAllocation::Nvem;
+        }
+        SecondLevel::DiskCacheWriteBufferOnly => {
+            // A small non-volatile cache acts purely as a write buffer.
+            config.disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::NonVolatileCache, 64);
+            config.disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 8, 64);
+        }
+    }
+    config
+}
+
+/// Storage variants of the trace-driven caching experiment (Fig. 4.6/4.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceStorage {
+    /// Main-memory caching only, database on regular disks.
+    MmOnly,
+    /// Volatile disk cache of the given size on the database disks.
+    VolatileDiskCache(usize),
+    /// Non-volatile disk cache of the given size on the database and log disks.
+    NonVolatileDiskCache(usize),
+    /// Second-level NVEM buffer of the given size (log in NVEM).
+    NvemCache(usize),
+    /// Complete database allocation on solid-state disks.
+    Ssd,
+    /// Complete database allocation in NVEM.
+    NvemResident,
+}
+
+impl TraceStorage {
+    /// Short label for report tables.
+    pub fn label(&self) -> String {
+        match self {
+            TraceStorage::MmOnly => "main memory caching only".to_string(),
+            TraceStorage::VolatileDiskCache(n) => format!("volatile disk cache ({n})"),
+            TraceStorage::NonVolatileDiskCache(n) => format!("non-volatile disk cache ({n})"),
+            TraceStorage::NvemCache(n) => format!("NVEM cache ({n})"),
+            TraceStorage::Ssd => "solid-state disk".to_string(),
+            TraceStorage::NvemResident => "NVEM-resident".to_string(),
+        }
+    }
+}
+
+/// The synthetic trace workload standing in for the real-life trace of §4.6.
+/// `scale = 1` reproduces the full published statistics (≈17,500 transactions,
+/// ≈1 M references); larger scale factors shrink it for tests.  The trace is
+/// replayed cyclically so arbitrary simulation lengths are possible.
+pub fn trace_workload(scale: usize, seed: u64) -> TraceGenerator {
+    let spec = if scale <= 1 {
+        SyntheticTraceSpec::default()
+    } else {
+        SyntheticTraceSpec::scaled_down(scale)
+    };
+    let mut rng = SimRng::seed_from(seed);
+    TraceGenerator::new(spec.generate(&mut rng), true)
+}
+
+/// Configuration for the trace-driven experiments (Fig. 4.6/4.7).  The trace
+/// touches 13 files; all of them share the storage variant.  The arrival rate
+/// is fixed (the paper uses a fixed rate for this experiment); 40 TPS keeps
+/// the 200-MIPS CPU complex below saturation for the ≈56-reference average
+/// transaction.
+pub fn trace_config(
+    mm_pages: usize,
+    storage: TraceStorage,
+    arrival_rate_tps: f64,
+) -> SimulationConfig {
+    let num_partitions = 13;
+    let mut buffer = BufferConfig {
+        mm_buffer_pages: mm_pages.max(1),
+        nvem_cache_pages: 0,
+        nvem_write_buffer_pages: 0,
+        update_strategy: UpdateStrategy::NoForce,
+        partitions: vec![PartitionPolicy::on_disk_unit(DB_UNIT); num_partitions],
+    };
+    let mut log_allocation = LogAllocation::DiskUnit(LOG_UNIT);
+    let mut disk_units = vec![
+        db_disk_unit(DiskUnitKind::Regular, 1),
+        log_disk_unit(DiskUnitKind::Regular, 4, 1),
+    ];
+    match storage {
+        TraceStorage::MmOnly => {}
+        TraceStorage::VolatileDiskCache(pages) => {
+            disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::VolatileCache, pages);
+        }
+        TraceStorage::NonVolatileDiskCache(pages) => {
+            disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::NonVolatileCache, pages);
+            disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 4, 500);
+        }
+        TraceStorage::NvemCache(pages) => {
+            buffer = buffer.with_nvem_cache(pages, SecondLevelMode::All);
+            log_allocation = LogAllocation::Nvem;
+        }
+        TraceStorage::Ssd => {
+            disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::Ssd, 1);
+            disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::Ssd, 4, 1);
+        }
+        TraceStorage::NvemResident => {
+            buffer.partitions = vec![PartitionPolicy::nvem_resident(); num_partitions];
+            log_allocation = LogAllocation::Nvem;
+        }
+    }
+    let cc_modes = vec![CcMode::Page; num_partitions];
+    SimulationConfig {
+        cm: CmParams {
+            // Long transactions: allow more of them in the system at once.
+            mpl: 400,
+            ..CmParams::default()
+        },
+        nvem: NvemParams::default(),
+        disk_units,
+        log_allocation,
+        buffer,
+        cc_modes,
+        arrival_rate_tps,
+        warmup_ms: 3_000.0,
+        measure_ms: 20_000.0,
+        seed: DEFAULT_SEED,
+    }
+}
+
+/// Storage allocation strategies of the lock-contention experiment (§4.7,
+/// Fig. 4.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentionAllocation {
+    /// Both partitions and the log on disks.
+    DiskBased,
+    /// The small (high-contention) partition and the log in NVEM, the large
+    /// partition on disk.
+    Mixed,
+    /// Both partitions and the log in NVEM.
+    NvemResident,
+}
+
+impl ContentionAllocation {
+    /// All three variants in paper order.
+    pub const ALL: [ContentionAllocation; 3] = [
+        ContentionAllocation::DiskBased,
+        ContentionAllocation::Mixed,
+        ContentionAllocation::NvemResident,
+    ];
+
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ContentionAllocation::DiskBased => "disk-based",
+            ContentionAllocation::Mixed => "mixed (small partition + log in NVEM)",
+            ContentionAllocation::NvemResident => "NVEM-resident",
+        }
+    }
+}
+
+/// The high-contention synthetic workload of §4.7: one variable-size,
+/// 100 %-update transaction type, 80 % of the accesses on a small 10,000-object
+/// partition, 20 % on a 100,000-object partition, blocking factor 10.
+pub fn contention_workload() -> SyntheticWorkload {
+    synthetic::contention_workload()
+}
+
+/// Configuration for the lock-contention experiment (Fig. 4.8).
+pub fn contention_config(
+    allocation: ContentionAllocation,
+    granularity: CcMode,
+    arrival_rate_tps: f64,
+) -> SimulationConfig {
+    let mut partitions = vec![PartitionPolicy::on_disk_unit(DB_UNIT); 2];
+    let mut log_allocation = LogAllocation::DiskUnit(LOG_UNIT);
+    match allocation {
+        ContentionAllocation::DiskBased => {}
+        ContentionAllocation::Mixed => {
+            partitions[0] = PartitionPolicy::nvem_resident();
+            log_allocation = LogAllocation::Nvem;
+        }
+        ContentionAllocation::NvemResident => {
+            partitions = vec![PartitionPolicy::nvem_resident(); 2];
+            log_allocation = LogAllocation::Nvem;
+        }
+    }
+    let buffer = BufferConfig {
+        mm_buffer_pages: 2_000,
+        nvem_cache_pages: 0,
+        nvem_write_buffer_pages: 0,
+        update_strategy: UpdateStrategy::NoForce,
+        partitions,
+    };
+    SimulationConfig {
+        cm: CmParams::default(),
+        nvem: NvemParams::default(),
+        disk_units: vec![
+            db_disk_unit(DiskUnitKind::Regular, 1),
+            log_disk_unit(DiskUnitKind::Regular, 8, 1),
+        ],
+        log_allocation,
+        buffer,
+        cc_modes: vec![granularity; 2],
+        arrival_rate_tps,
+        warmup_ms: 3_000.0,
+        measure_ms: 20_000.0,
+        seed: DEFAULT_SEED,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::WorkloadGenerator;
+
+    #[test]
+    fn all_debit_credit_presets_validate() {
+        for storage in DebitCreditStorage::ALL {
+            let c = debit_credit_config(storage, 100.0);
+            assert!(c.validate().is_ok(), "{storage:?}: {:?}", c.validate());
+            assert!(!storage.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn all_log_allocation_presets_validate() {
+        for v in LogVariant::ALL {
+            let c = log_allocation_config(v, 100.0);
+            assert!(c.validate().is_ok(), "{v:?}");
+            assert!(!v.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn caching_presets_validate_for_both_strategies() {
+        let variants = [
+            SecondLevel::None,
+            SecondLevel::VolatileDiskCache(1_000),
+            SecondLevel::NonVolatileDiskCache(1_000),
+            SecondLevel::NvemCache(500),
+            SecondLevel::DiskCacheWriteBufferOnly,
+        ];
+        for v in variants {
+            for force in [false, true] {
+                let c = caching_config(500, v, force, 500.0);
+                assert!(c.validate().is_ok(), "{v:?} force={force}");
+            }
+            assert!(!v.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn trace_presets_validate() {
+        let variants = [
+            TraceStorage::MmOnly,
+            TraceStorage::VolatileDiskCache(2_000),
+            TraceStorage::NonVolatileDiskCache(2_000),
+            TraceStorage::NvemCache(2_000),
+            TraceStorage::Ssd,
+            TraceStorage::NvemResident,
+        ];
+        for v in variants {
+            let c = trace_config(1_000, v, 40.0);
+            assert!(c.validate().is_ok(), "{v:?}");
+            assert!(!v.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn contention_presets_validate() {
+        for a in ContentionAllocation::ALL {
+            for g in [CcMode::Page, CcMode::Object] {
+                let c = contention_config(a, g, 100.0);
+                assert!(c.validate().is_ok(), "{a:?} {g:?}");
+            }
+            assert!(!a.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn debit_credit_partition_ids_match_the_config() {
+        // The preset configures 3 partitions (BRANCH/TELLER, ACCOUNT, HISTORY
+        // with clustering); the workload generator must produce the same ids.
+        let g = debit_credit_workload(100);
+        assert_eq!(g.database().num_partitions(), 3);
+        let parts = g.partitions();
+        assert_eq!(parts.branch, 0);
+        assert_eq!(parts.account, 1);
+        assert_eq!(parts.history, 2);
+        let c = debit_credit_config(DebitCreditStorage::Disk, 50.0);
+        assert_eq!(c.buffer.partitions.len(), 3);
+        assert_eq!(c.cc_modes.len(), 3);
+    }
+
+    #[test]
+    fn trace_workload_matches_partition_count() {
+        let mut g = trace_workload(50, 1);
+        assert_eq!(g.database().num_partitions(), 13);
+        let c = trace_config(1_000, TraceStorage::MmOnly, 40.0);
+        assert_eq!(c.buffer.partitions.len(), 13);
+        let mut rng = SimRng::seed_from(1);
+        assert!(g.next_transaction(&mut rng).is_some());
+    }
+
+    #[test]
+    fn contention_workload_matches_partition_count() {
+        let w = contention_workload();
+        assert_eq!(w.database().num_partitions(), 2);
+        let c = contention_config(ContentionAllocation::Mixed, CcMode::Object, 50.0);
+        assert_eq!(c.buffer.partitions.len(), 2);
+        assert_eq!(
+            c.buffer.partitions[0].location,
+            PageLocation::NvemResident
+        );
+        assert_eq!(
+            c.buffer.partitions[1].location,
+            PageLocation::DiskUnit(DB_UNIT)
+        );
+    }
+
+    #[test]
+    fn log_variants_differ_in_log_unit_configuration() {
+        let single = log_allocation_config(LogVariant::SingleDisk, 100.0);
+        assert_eq!(single.disk_units[LOG_UNIT].num_disks, 1);
+        let cached = log_allocation_config(LogVariant::SingleDiskNvCache, 100.0);
+        assert_eq!(cached.disk_units[LOG_UNIT].kind, DiskUnitKind::NonVolatileCache);
+        let ssd = log_allocation_config(LogVariant::Ssd, 100.0);
+        assert_eq!(ssd.disk_units[LOG_UNIT].kind, DiskUnitKind::Ssd);
+        let nvem = log_allocation_config(LogVariant::Nvem, 100.0);
+        assert_eq!(nvem.log_allocation, LogAllocation::Nvem);
+    }
+}

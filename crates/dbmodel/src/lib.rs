@@ -1,0 +1,30 @@
+//! # dbmodel — TPSIM database and load model
+//!
+//! This crate implements section 3.1 of the paper: the database model
+//! (partitions, sub-partitions following the generalized b/c rule, blocking
+//! factors), the synthetic workload model (transaction types, relative
+//! reference matrix, sequential/non-sequential and fixed/variable-size
+//! transactions), the Debit-Credit workload generator of the TP benchmark
+//! [An85], and the trace-driven workload generator (with a synthetic trace
+//! generator standing in for the unavailable real-life trace).
+//!
+//! Workload generators produce [`TransactionTemplate`]s: the complete, ordered
+//! list of object references (partition, page, object, read/write) that a
+//! transaction will perform.  The transaction system in the `tpsim` crate
+//! executes those templates against the simulated hardware.
+
+pub mod database;
+pub mod debit_credit;
+pub mod reference;
+pub mod synthetic;
+pub mod trace;
+pub mod types;
+
+pub use database::{Database, Partition, PartitionId, Subpartition};
+pub use debit_credit::{DebitCreditConfig, DebitCreditGenerator};
+pub use reference::ReferenceMatrix;
+pub use synthetic::{SyntheticWorkload, TransactionTypeSpec};
+pub use trace::{SyntheticTraceSpec, Trace, TraceGenerator, TraceTransaction};
+pub use types::{
+    AccessMode, ObjectId, ObjectRef, PageId, TransactionTemplate, TxTypeId, WorkloadGenerator,
+};

@@ -1,0 +1,175 @@
+//! Waits-for graph and cycle (deadlock) detection.
+//!
+//! "Deadlock checks are performed for every denied lock request; the
+//! transaction causing the deadlock is aborted to break the cycle." (§3.2)
+//!
+//! The graph stores, for every blocked transaction, the set of transactions it
+//! waits for.  Detection is a depth-first reachability check starting from the
+//! newly blocked transaction: if it can reach itself, the new request closes a
+//! cycle and the requester is chosen as the victim.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::table::TxId;
+
+/// The waits-for graph.
+#[derive(Debug, Default)]
+pub struct WaitsForGraph {
+    /// edges[t] = set of transactions t is waiting for.
+    edges: HashMap<TxId, HashSet<TxId>>,
+}
+
+impl WaitsForGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds edges `waiter → blocker` for every blocker.
+    pub fn add_waits(&mut self, waiter: TxId, blockers: &[TxId]) {
+        if blockers.is_empty() {
+            return;
+        }
+        let set = self.edges.entry(waiter).or_default();
+        for b in blockers {
+            if *b != waiter {
+                set.insert(*b);
+            }
+        }
+    }
+
+    /// Removes all outgoing edges of `waiter` (it is no longer blocked).
+    pub fn clear_waits(&mut self, waiter: TxId) {
+        self.edges.remove(&waiter);
+    }
+
+    /// Removes a transaction completely: its outgoing edges and every incoming
+    /// edge (other transactions no longer wait for it).
+    pub fn remove_transaction(&mut self, tx: TxId) {
+        self.edges.remove(&tx);
+        for set in self.edges.values_mut() {
+            set.remove(&tx);
+        }
+    }
+
+    /// Number of blocked transactions currently recorded.
+    pub fn blocked_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The transactions `tx` currently waits for (empty if not blocked).
+    pub fn waits_of(&self, tx: TxId) -> Vec<TxId> {
+        self.edges
+            .get(&tx)
+            .map(|s| {
+                let mut v: Vec<TxId> = s.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// True if `start` can reach `target` following waits-for edges.
+    pub fn reaches(&self, start: TxId, target: TxId) -> bool {
+        let mut visited = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(t) = stack.pop() {
+            if !visited.insert(t) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&t) {
+                for n in next {
+                    if *n == target {
+                        return true;
+                    }
+                    stack.push(*n);
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks whether adding the edges `waiter → blockers` would close a
+    /// cycle containing `waiter`.  The edges are *not* added.
+    pub fn would_deadlock(&self, waiter: TxId, blockers: &[TxId]) -> bool {
+        blockers
+            .iter()
+            .any(|b| *b == waiter || self.reaches(*b, waiter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deadlock_on_simple_wait() {
+        let g = WaitsForGraph::new();
+        assert!(!g.would_deadlock(1, &[2]));
+    }
+
+    #[test]
+    fn two_transaction_cycle_detected() {
+        let mut g = WaitsForGraph::new();
+        g.add_waits(1, &[2]); // T1 waits for T2
+        assert!(g.would_deadlock(2, &[1])); // T2 requesting something held by T1
+        assert!(!g.would_deadlock(3, &[1]));
+    }
+
+    #[test]
+    fn three_transaction_cycle_detected() {
+        let mut g = WaitsForGraph::new();
+        g.add_waits(1, &[2]);
+        g.add_waits(2, &[3]);
+        assert!(g.would_deadlock(3, &[1]));
+        assert!(!g.would_deadlock(3, &[4]));
+    }
+
+    #[test]
+    fn self_edge_is_a_deadlock() {
+        let g = WaitsForGraph::new();
+        assert!(g.would_deadlock(7, &[7]));
+    }
+
+    #[test]
+    fn clearing_waits_breaks_the_path() {
+        let mut g = WaitsForGraph::new();
+        g.add_waits(1, &[2]);
+        g.add_waits(2, &[3]);
+        assert!(g.reaches(1, 3));
+        g.clear_waits(2);
+        assert!(!g.reaches(1, 3));
+        assert!(g.reaches(1, 2));
+    }
+
+    #[test]
+    fn remove_transaction_drops_incoming_edges() {
+        let mut g = WaitsForGraph::new();
+        g.add_waits(1, &[2]);
+        g.add_waits(3, &[2]);
+        g.remove_transaction(2);
+        assert!(!g.reaches(1, 2));
+        assert!(!g.reaches(3, 2));
+        // Outgoing sets still exist for 1 and 3 but are empty of 2.
+        assert!(g.waits_of(1).is_empty());
+    }
+
+    #[test]
+    fn waits_of_reports_sorted_blockers() {
+        let mut g = WaitsForGraph::new();
+        g.add_waits(5, &[9, 2, 9, 5]);
+        assert_eq!(g.waits_of(5), vec![2, 9]);
+        assert_eq!(g.blocked_count(), 1);
+        assert_eq!(g.waits_of(42), Vec::<TxId>::new());
+    }
+
+    #[test]
+    fn diamond_without_cycle_is_not_a_deadlock() {
+        let mut g = WaitsForGraph::new();
+        g.add_waits(1, &[2, 3]);
+        g.add_waits(2, &[4]);
+        g.add_waits(3, &[4]);
+        assert!(!g.would_deadlock(4, &[5]));
+        assert!(g.would_deadlock(4, &[1]));
+    }
+}

@@ -1,0 +1,18 @@
+//! # lockmgr — TPSIM concurrency control component
+//!
+//! Implements the CC component of §3.2: strict two-phase locking with long
+//! read and write locks, a choice of page-level or object-level granularity
+//! (or no locking at all) selectable per partition, deadlock detection on
+//! every denied lock request with the requester aborted to break the cycle.
+//!
+//! The lock manager is a pure data structure: it does not know about
+//! simulated time.  The transaction system drives it and interprets the
+//! returned [`LockOutcome`]s (granted → continue, queued → block the
+//! transaction, deadlock → abort and restart).
+
+pub mod deadlock;
+pub mod manager;
+pub mod table;
+
+pub use manager::{CcMode, LockManager, LockManagerStats, LockOutcome, LockRequest};
+pub use table::{LockMode, LockableId, TxId};

@@ -1,0 +1,331 @@
+//! Reusable probability distributions.
+//!
+//! TPSIM's workload model needs a handful of distributions: exponential
+//! service times and inter-arrival times, uniform selection within a
+//! sub-partition, and general discrete distributions (the relative reference
+//! matrix and the b/c-rule sub-partition weights).  Everything samples from a
+//! [`SimRng`] so runs remain deterministic.
+
+use crate::rng::SimRng;
+
+/// A distribution that can produce an `f64` sample from the simulation RNG.
+pub trait Draw {
+    /// Draws one sample.
+    fn draw(&self, rng: &mut SimRng) -> f64;
+
+    /// The distribution's mean, if defined.
+    fn mean(&self) -> f64;
+}
+
+/// Exponential distribution with a given mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with `mean > 0`.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0, "exponential mean must be positive, got {mean}");
+        Self { mean }
+    }
+}
+
+impl Draw for Exponential {
+    #[inline]
+    fn draw(&self, rng: &mut SimRng) -> f64 {
+        rng.exponential(self.mean)
+    }
+
+    #[inline]
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Either a fixed constant or an exponential around a mean.
+///
+/// Transaction sizes and CPU bursts in the paper can be "fixed or variable; in
+/// the latter case the actual number ... is determined according to an
+/// exponential distribution over the specified mean" (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FixedOrExp {
+    /// Always returns the same value.
+    Fixed(f64),
+    /// Exponentially distributed around the mean.
+    Exp(f64),
+}
+
+impl Draw for FixedOrExp {
+    #[inline]
+    fn draw(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            FixedOrExp::Fixed(v) => v,
+            FixedOrExp::Exp(mean) => rng.exponential(mean),
+        }
+    }
+
+    #[inline]
+    fn mean(&self) -> f64 {
+        match *self {
+            FixedOrExp::Fixed(v) | FixedOrExp::Exp(v) => v,
+        }
+    }
+}
+
+/// Continuous uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Creates a uniform distribution over `[lo, hi)` with `hi >= lo`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(hi >= lo, "invalid uniform range [{lo}, {hi})");
+        Self { lo, hi }
+    }
+}
+
+impl Draw for UniformRange {
+    #[inline]
+    fn draw(&self, rng: &mut SimRng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+
+    #[inline]
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+/// A discrete distribution over `0..n` built from arbitrary non-negative
+/// weights, sampled by binary search over the cumulative weights.
+///
+/// Used for the relative reference matrix rows and for sub-partition
+/// selection, where the same distribution is sampled millions of times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteDist {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl DiscreteDist {
+    /// Builds the distribution.  Returns `None` if every weight is zero or the
+    /// slice is empty.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            let w = if w.is_finite() && w > 0.0 { w } else { 0.0 };
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        Some(Self { cumulative, total })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there are no categories (never constructed; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a category index.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let x = rng.unit() * self.total;
+        // Binary search for the first cumulative weight > x.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Probability mass of category `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / self.total
+    }
+}
+
+/// Zipf-like distribution over `0..n` with skew parameter `theta` in `[0, 1)`.
+///
+/// Used only by the synthetic trace generator (the paper's own synthetic model
+/// uses sub-partitions / the b-c rule instead).  `theta = 0` is uniform;
+/// values around 0.8–0.99 give the heavy skew typical of OLTP traces.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `0..n` (n >= 1) with skew `theta` in `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one element");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_theta / zeta_n);
+        Self {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation is fine for the sizes used in the trace generator
+        // (tens of thousands of elements, computed once).
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Samples a value in `0..n` (0 is the most popular element).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        let u = rng.unit();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.eta * u) - self.eta + 1.0).max(1e-12);
+        let k = (self.n as f64 * v.powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Always false (a Zipf distribution has at least one element).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Unused accessor kept for diagnostics.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_draw_mean() {
+        let d = Exponential::new(2.0);
+        let mut rng = SimRng::seed_from(1);
+        let n = 100_000;
+        let avg: f64 = (0..n).map(|_| d.draw(&mut rng)).sum::<f64>() / n as f64;
+        assert!((avg - 2.0).abs() < 0.05, "avg {avg}");
+        assert_eq!(d.mean(), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exponential_rejects_nonpositive_mean() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn fixed_or_exp_fixed_is_constant() {
+        let d = FixedOrExp::Fixed(4.0);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..10 {
+            assert_eq!(d.draw(&mut rng), 4.0);
+        }
+        assert_eq!(d.mean(), 4.0);
+    }
+
+    #[test]
+    fn uniform_range_bounds_and_mean() {
+        let d = UniformRange::new(1.0, 3.0);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..1000 {
+            let x = d.draw(&mut rng);
+            assert!((1.0..3.0).contains(&x));
+        }
+        assert_eq!(d.mean(), 2.0);
+    }
+
+    #[test]
+    fn discrete_dist_matches_weights() {
+        let d = DiscreteDist::new(&[1.0, 3.0, 6.0]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert!((d.probability(0) - 0.1).abs() < 1e-12);
+        assert!((d.probability(2) - 0.6).abs() < 1e-12);
+        let mut rng = SimRng::seed_from(77);
+        let mut counts = [0usize; 3];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        let f2 = counts[2] as f64 / 100_000.0;
+        assert!((f2 - 0.6).abs() < 0.01, "f2 {f2}");
+    }
+
+    #[test]
+    fn discrete_dist_rejects_degenerate_input() {
+        assert!(DiscreteDist::new(&[]).is_none());
+        assert!(DiscreteDist::new(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_indices() {
+        let z = Zipf::new(10_000, 0.9);
+        let mut rng = SimRng::seed_from(3);
+        let n = 100_000;
+        let in_first_percent = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        // With theta=0.9 far more than 1% of accesses hit the first 1% of items.
+        assert!(
+            in_first_percent as f64 / n as f64 > 0.3,
+            "only {in_first_percent} hits in hottest 1%"
+        );
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(1000, 0.0);
+        let mut rng = SimRng::seed_from(3);
+        let n = 100_000;
+        let in_first_half = (0..n).filter(|_| z.sample(&mut rng) < 500).count();
+        let frac = in_first_half as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac {frac}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let z = Zipf::new(50, 0.5);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 50);
+        }
+        assert_eq!(z.len(), 50);
+        assert!(!z.is_empty());
+    }
+}

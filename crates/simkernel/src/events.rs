@@ -1,0 +1,218 @@
+//! Future event list.
+//!
+//! A deterministic priority queue of `(time, payload)` pairs.  Ties are broken
+//! by insertion order (FIFO among simultaneous events), which keeps simulation
+//! runs reproducible for a fixed RNG seed regardless of floating-point
+//! idiosyncrasies in the heap.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event scheduled for execution at [`ScheduledEvent::time`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent<P> {
+    /// Simulated time at which the event fires.
+    pub time: SimTime,
+    /// Monotonically increasing sequence number (insertion order).
+    pub seq: u64,
+    /// Caller-defined payload.
+    pub payload: P,
+}
+
+/// Internal heap entry; ordered so that the *earliest* event is popped first
+/// and ties resolve in insertion order.
+struct HeapEntry<P> {
+    time: SimTime,
+    seq: u64,
+    payload: P,
+}
+
+impl<P> PartialEq for HeapEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P> Eq for HeapEntry<P> {}
+
+impl<P> PartialOrd for HeapEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for HeapEntry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest (time, seq) wins.
+        match other.time.partial_cmp(&self.time) {
+            Some(Ordering::Equal) | None => other.seq.cmp(&self.seq),
+            Some(ord) => ord,
+        }
+    }
+}
+
+/// The future event list of the simulation.
+pub struct EventQueue<P> {
+    heap: BinaryHeap<HeapEntry<P>>,
+    next_seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// Creates an empty event queue with the clock at time 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Current simulated time (the time of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostic).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the calling model; the event
+    /// is clamped to `now` so the simulation still makes forward progress, and
+    /// debug builds assert.
+    pub fn schedule_at(&mut self, at: SimTime, payload: P) {
+        debug_assert!(
+            at + 1e-9 >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        let at = if at < self.now { self.now } else { at };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(HeapEntry {
+            time: at,
+            seq,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` to fire `delay` milliseconds from now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimTime, payload: P) {
+        debug_assert!(delay >= 0.0, "negative delay {delay}");
+        let now = self.now;
+        self.schedule_at(now + delay.max(0.0), payload);
+    }
+
+    /// Pops the next event and advances the clock to its time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<P>> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time + 1e-9 >= self.now, "time went backwards");
+        self.now = entry.time.max(self.now);
+        Some(ScheduledEvent {
+            time: self.now,
+            seq: entry.seq,
+            payload: entry.payload,
+        })
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(3.0, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_resolve_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(2.0, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(4.0, ());
+        q.schedule_in(2.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert!((q.now() - 2.0).abs() < 1e-12);
+        q.pop();
+        assert!((q.now() - 4.0).abs() < 1e-12);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_in(10.0, 1);
+        q.pop();
+        q.schedule_in(5.0, 2);
+        let e = q.pop().unwrap();
+        assert!((e.time - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule_at(7.0, ());
+        q.schedule_at(3.0, ());
+        assert_eq!(q.peek_time(), Some(3.0));
+    }
+
+    #[test]
+    fn counts_scheduled_events() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for _ in 0..5 {
+            q.schedule_in(1.0, ());
+        }
+        assert_eq!(q.scheduled_total(), 5);
+        assert_eq!(q.len(), 5);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! Statistics accumulators.
+//!
+//! TPSIM reports response times (tally statistics over observations), device
+//! utilizations and queue lengths (time-weighted statistics), hit ratios and
+//! event counts (counters), and response-time distributions (histograms).
+//! All accumulators support being reset at the end of a warm-up period.
+
+use crate::time::SimTime;
+
+/// Tally statistic: mean / min / max / variance over discrete observations.
+#[derive(Debug, Clone, Default)]
+pub struct Tally {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean, or `None` if no observations were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Population variance, or `None` with fewer than two observations.
+    pub fn variance(&self) -> Option<f64> {
+        if self.count < 2 {
+            return None;
+        }
+        let n = self.count as f64;
+        let mean = self.sum / n;
+        Some((self.sum_sq / n - mean * mean).max(0.0))
+    }
+
+    /// Standard deviation, or `None` with fewer than two observations.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Clears all observations.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+/// Time-weighted statistic for piecewise-constant quantities (queue lengths,
+/// number of busy servers, multiprogramming level, ...).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: Option<SimTime>,
+    last_value: f64,
+    weighted_sum: f64,
+    total_time: SimTime,
+    max: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            last_time: None,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            total_time: 0.0,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records that the observed quantity takes value `value` from time `now`
+    /// onward.  The previous value is weighted by the elapsed interval.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        if let Some(prev) = self.last_time {
+            let dt = (now - prev).max(0.0);
+            self.weighted_sum += self.last_value * dt;
+            self.total_time += dt;
+        }
+        self.last_time = Some(now);
+        self.last_value = value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Time-weighted mean over the observed interval.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total_time > 0.0).then(|| self.weighted_sum / self.total_time)
+    }
+
+    /// Maximum observed value, or `None` if nothing was recorded.
+    pub fn max(&self) -> Option<f64> {
+        (self.max > f64::NEG_INFINITY).then_some(self.max)
+    }
+
+    /// Value most recently recorded.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// A named monotone counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+
+    /// This counter as a fraction of `total` (0 if `total` is 0).
+    pub fn ratio_of(&self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+/// Fixed-bucket histogram for response-time distributions.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    tally: Tally,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `bucket_width` each;
+    /// values beyond the last bucket are counted in an overflow bin.
+    pub fn new(bucket_width: f64, buckets: usize) -> Self {
+        assert!(bucket_width > 0.0 && buckets > 0);
+        Self {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            tally: Tally::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.tally.record(value);
+        let idx = (value / self.bucket_width).floor();
+        if idx < 0.0 {
+            self.buckets[0] += 1;
+        } else if (idx as usize) < self.buckets.len() {
+            self.buckets[idx as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Underlying tally (mean/min/max of the recorded values).
+    pub fn tally(&self) -> &Tally {
+        &self.tally
+    }
+
+    /// Approximate quantile `q` in `[0,1]` from the bucket boundaries.
+    /// Returns `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.tally.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i as f64 + 1.0) * self.bucket_width);
+            }
+        }
+        // Fell into the overflow bucket.
+        self.tally.max()
+    }
+
+    /// Number of values that exceeded the bucketed range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Clears the histogram.
+    pub fn reset(&mut self) {
+        for b in &mut self.buckets {
+            *b = 0;
+        }
+        self.overflow = 0;
+        self.tally.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_basic_moments() {
+        let mut t = Tally::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            t.record(v);
+        }
+        assert_eq!(t.count(), 4);
+        assert_eq!(t.mean(), Some(2.5));
+        assert_eq!(t.min(), Some(1.0));
+        assert_eq!(t.max(), Some(4.0));
+        assert!((t.variance().unwrap() - 1.25).abs() < 1e-12);
+        assert!((t.std_dev().unwrap() - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tally_empty_is_none() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), None);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+        assert_eq!(t.variance(), None);
+    }
+
+    #[test]
+    fn tally_reset() {
+        let mut t = Tally::new();
+        t.record(5.0);
+        t.reset();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.mean(), None);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new();
+        tw.record(0.0, 2.0); // value 2 for 0..10
+        tw.record(10.0, 4.0); // value 4 for 10..20
+        tw.record(20.0, 0.0);
+        assert!((tw.mean().unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(tw.max(), Some(4.0));
+        assert_eq!(tw.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_single_sample_has_no_mean() {
+        let mut tw = TimeWeighted::new();
+        tw.record(5.0, 1.0);
+        assert_eq!(tw.mean(), None);
+    }
+
+    #[test]
+    fn counter_ratio() {
+        let mut c = Counter::new();
+        c.add(30);
+        c.incr();
+        assert_eq!(c.get(), 31);
+        assert!((c.ratio_of(62) - 0.5).abs() < 1e-12);
+        assert_eq!(c.ratio_of(0), 0.0);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 1..=100 {
+            h.record(i as f64 - 0.5);
+        }
+        assert_eq!(h.tally().count(), 100);
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() <= 1.0, "median {median}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((p95 - 95.0).abs() <= 1.0, "p95 {p95}");
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn histogram_overflow_and_reset() {
+        let mut h = Histogram::new(1.0, 10);
+        h.record(100.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.quantile(0.5), Some(100.0));
+        h.reset();
+        assert_eq!(h.tally().count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the simulation kernel invariants.
+
+use proptest::prelude::*;
+use simkernel::{EventQueue, Resource, SimRng, Tally, TimeWeighted};
+
+proptest! {
+    /// Events always come out of the queue in non-decreasing time order, and
+    /// every scheduled event is eventually delivered exactly once.
+    #[test]
+    fn event_queue_is_ordered_and_complete(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(*t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut seen = vec![false; times.len()];
+        while let Some(e) = q.pop() {
+            prop_assert!(e.time >= last);
+            last = e.time;
+            prop_assert!(!seen[e.payload]);
+            seen[e.payload] = true;
+            // Each delivered event fires at the time it was scheduled for.
+            prop_assert!((e.time - times[e.payload]).abs() < 1e-9);
+        }
+        prop_assert!(seen.iter().all(|s| *s));
+    }
+
+    /// A resource never has more busy servers than capacity, never loses a
+    /// token, and serves waiters in FIFO order.
+    #[test]
+    fn resource_conserves_tokens(capacity in 1usize..6, ops in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let mut r = Resource::new("r", capacity);
+        let mut now = 0.0;
+        let mut next_token = 0u64;
+        let mut in_service: u64 = 0;
+        let mut expected_queue: std::collections::VecDeque<u64> = Default::default();
+        for acquire in ops {
+            now += 1.0;
+            if acquire {
+                let tok = next_token;
+                next_token += 1;
+                match r.acquire(now, tok) {
+                    simkernel::resource::Acquire::Granted => { in_service += 1; }
+                    simkernel::resource::Acquire::Queued => expected_queue.push_back(tok),
+                }
+            } else if in_service > 0 {
+                match r.release(now) {
+                    Some(tok) => {
+                        // FIFO: must be the oldest waiter.
+                        let expect = expected_queue.pop_front();
+                        prop_assert_eq!(Some(tok), expect);
+                        // busy count unchanged: one leaves, one enters service.
+                    }
+                    None => { in_service -= 1; }
+                }
+            }
+            prop_assert!(r.busy() <= capacity);
+            prop_assert_eq!(r.busy() as u64, in_service);
+            prop_assert_eq!(r.queue_len(), expected_queue.len());
+        }
+    }
+
+    /// Tally mean always lies between min and max.
+    #[test]
+    fn tally_mean_bounded(values in proptest::collection::vec(-1e9f64..1e9, 1..500)) {
+        let mut t = Tally::new();
+        for v in &values {
+            t.record(*v);
+        }
+        let mean = t.mean().unwrap();
+        prop_assert!(mean >= t.min().unwrap() - 1e-6);
+        prop_assert!(mean <= t.max().unwrap() + 1e-6);
+        prop_assert_eq!(t.count(), values.len() as u64);
+    }
+
+    /// Time-weighted mean of a piecewise-constant signal is bounded by the
+    /// extremes of the recorded values.
+    #[test]
+    fn time_weighted_mean_bounded(values in proptest::collection::vec(0.0f64..1e3, 2..200)) {
+        let mut tw = TimeWeighted::new();
+        for (i, v) in values.iter().enumerate() {
+            tw.record(i as f64, *v);
+        }
+        let mean = tw.mean().unwrap();
+        let lo = values[..values.len() - 1].iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values[..values.len() - 1].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+
+    /// Exponential samples are non-negative and the empirical mean is within a
+    /// loose tolerance of the requested mean.
+    #[test]
+    fn exponential_sampling_sane(seed in any::<u64>(), mean in 0.1f64..100.0) {
+        let mut rng = SimRng::seed_from(seed);
+        let n = 4000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.exponential(mean);
+            prop_assert!(x >= 0.0);
+            sum += x;
+        }
+        let observed = sum / n as f64;
+        prop_assert!(observed > mean * 0.8 && observed < mean * 1.25,
+            "observed {} vs mean {}", observed, mean);
+    }
+}

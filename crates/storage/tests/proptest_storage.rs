@@ -1,0 +1,114 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+use storage::{DiskUnit, DiskUnitKind, DiskUnitParams, IoKind, LruCache};
+
+use dbmodel::PageId;
+
+proptest! {
+    /// The LRU cache never exceeds its capacity, and a key just inserted is
+    /// always present.
+    #[test]
+    fn lru_capacity_invariant(capacity in 1usize..32,
+                              ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..500)) {
+        let mut c: LruCache<u64, u64> = LruCache::new(capacity);
+        for (i, (key, is_insert)) in ops.into_iter().enumerate() {
+            if is_insert {
+                c.insert(key, i as u64);
+                prop_assert!(c.contains(&key));
+            } else {
+                c.remove(&key);
+                prop_assert!(!c.contains(&key));
+            }
+            prop_assert!(c.len() <= capacity);
+        }
+    }
+
+    /// The LRU cache behaves identically to a naive reference model under an
+    /// arbitrary mix of inserts, gets and removes.
+    #[test]
+    fn lru_matches_reference_model(capacity in 1usize..16,
+                                   ops in proptest::collection::vec((0u8..3, 0u64..32), 1..400)) {
+        let mut c: LruCache<u64, u64> = LruCache::new(capacity);
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // front = MRU
+        for (i, (op, key)) in ops.into_iter().enumerate() {
+            match op {
+                0 => {
+                    if let Some(pos) = reference.iter().position(|(k, _)| *k == key) {
+                        reference.remove(pos);
+                    } else if reference.len() == capacity {
+                        reference.pop();
+                    }
+                    reference.insert(0, (key, i as u64));
+                    c.insert(key, i as u64);
+                }
+                1 => {
+                    let expected = reference.iter().position(|(k, _)| *k == key);
+                    let got = c.get(&key).copied();
+                    match expected {
+                        Some(pos) => {
+                            let e = reference.remove(pos);
+                            prop_assert_eq!(got, Some(e.1));
+                            reference.insert(0, e);
+                        }
+                        None => prop_assert_eq!(got, None),
+                    }
+                }
+                _ => {
+                    let expected = reference.iter().position(|(k, _)| *k == key).map(|p| reference.remove(p).1);
+                    prop_assert_eq!(c.remove(&key), expected);
+                }
+            }
+            let order: Vec<u64> = c.iter_lru().map(|(k, _)| *k).collect();
+            let expected_order: Vec<u64> = reference.iter().rev().map(|(k, _)| *k).collect();
+            prop_assert_eq!(order, expected_order);
+        }
+    }
+
+    /// Disk-unit invariants that must hold for every request sequence:
+    /// * the cache never grows beyond its configured size,
+    /// * every decision has a positive foreground service time,
+    /// * only non-volatile caches and SSDs ever absorb writes,
+    /// * an absorbed write on a cached unit schedules exactly one destage.
+    #[test]
+    fn disk_unit_invariants(kind_sel in 0u8..4,
+                            cache_size in 1usize..16,
+                            ops in proptest::collection::vec((any::<bool>(), 0u64..48), 1..400)) {
+        let kind = match kind_sel {
+            0 => DiskUnitKind::Regular,
+            1 => DiskUnitKind::VolatileCache,
+            2 => DiskUnitKind::NonVolatileCache,
+            _ => DiskUnitKind::Ssd,
+        };
+        let mut unit = DiskUnit::new("p", DiskUnitParams {
+            kind,
+            cache_size,
+            ..DiskUnitParams::default()
+        });
+        let mut destage_backlog: Vec<PageId> = Vec::new();
+        for (is_write, page) in ops {
+            let kind_io = if is_write { IoKind::Write } else { IoKind::Read };
+            let d = unit.request(kind_io, PageId(page));
+            prop_assert!(d.foreground_service_time() > 0.0);
+            prop_assert!(unit.cached_pages() <= cache_size);
+            if d.absorbed_write {
+                prop_assert!(kind.absorbs_writes());
+                prop_assert!(is_write);
+            }
+            if !d.background.is_empty() {
+                prop_assert_eq!(kind, DiskUnitKind::NonVolatileCache);
+                destage_backlog.push(PageId(page));
+            }
+            // Occasionally complete the oldest destage, as the engine would.
+            if destage_backlog.len() > 4 {
+                let p = destage_backlog.remove(0);
+                unit.destage_complete(p);
+            }
+        }
+        // Statistics are consistent.
+        let s = unit.stats();
+        prop_assert!(s.read_hits <= s.reads);
+        prop_assert!(s.write_hits <= s.writes);
+        prop_assert!(s.absorbed_writes + s.forced_sync_writes <= s.writes + s.reads);
+    }
+}

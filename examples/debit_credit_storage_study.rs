@@ -1,0 +1,51 @@
+//! Debit-Credit storage study: sweep the six database-allocation alternatives
+//! of the paper (Fig. 4.2) and the FORCE/NOFORCE comparison (Fig. 4.3) at a
+//! single arrival rate, printing a compact comparison table.
+//!
+//! ```bash
+//! cargo run --release --example debit_credit_storage_study [TPS]
+//! ```
+
+use bufmgr::UpdateStrategy;
+use tpsim::presets::{debit_credit_config, debit_credit_workload, DebitCreditStorage};
+use tpsim::Simulation;
+
+fn run(storage: DebitCreditStorage, force: bool, tps: f64) -> tpsim::SimulationReport {
+    let mut config = debit_credit_config(storage, tps);
+    config.warmup_ms = 1_000.0;
+    config.measure_ms = 6_000.0;
+    if force {
+        config.buffer.update_strategy = UpdateStrategy::Force;
+    }
+    Simulation::new(config, debit_credit_workload(50)).run()
+}
+
+fn main() {
+    let tps: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200.0);
+
+    println!("Debit-Credit storage study at {tps} TPS (scaled-down database)\n");
+    println!(
+        "{:<38} {:>12} {:>12} {:>10}",
+        "allocation", "NOFORCE [ms]", "FORCE [ms]", "thru [TPS]"
+    );
+    for storage in DebitCreditStorage::ALL {
+        let noforce = run(storage, false, tps);
+        let force = run(storage, true, tps);
+        println!(
+            "{:<38} {:>12.2} {:>12.2} {:>10.1}",
+            storage.label(),
+            noforce.response_time.mean,
+            force.response_time.mean,
+            noforce.throughput_tps
+        );
+    }
+
+    println!();
+    println!("Expected shape (paper §4.3/§4.4): disk-based is slowest and suffers most");
+    println!("under FORCE; a write buffer roughly halves disk-based response times and");
+    println!("nearly closes the FORCE/NOFORCE gap; SSD and NVEM residence approach the");
+    println!("CPU-bound minimum of ≈5 ms.");
+}

@@ -1,0 +1,63 @@
+//! Lock-contention study (the Fig. 4.8 experiment): page- versus object-level
+//! locking for three storage allocations of a high-contention, update-only
+//! workload.
+//!
+//! ```bash
+//! cargo run --release --example lock_contention [TPS]
+//! ```
+
+use lockmgr::CcMode;
+use tpsim::presets::{contention_config, contention_workload, ContentionAllocation};
+use tpsim::Simulation;
+
+fn run(allocation: ContentionAllocation, granularity: CcMode, tps: f64) -> tpsim::SimulationReport {
+    let mut config = contention_config(allocation, granularity, tps);
+    config.warmup_ms = 1_000.0;
+    config.measure_ms = 6_000.0;
+    Simulation::new(config, contention_workload()).run()
+}
+
+fn main() {
+    let tps: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(150.0);
+
+    println!("Lock contention at {tps} TPS: one update-only transaction type,");
+    println!("80% of accesses on a small 10,000-object partition.\n");
+    println!(
+        "{:<42} {:>10} {:>12} {:>10} {:>10} {:>8}",
+        "allocation / granularity", "thru", "resp [ms]", "conflicts", "deadlocks", "cpu"
+    );
+
+    for allocation in ContentionAllocation::ALL {
+        for granularity in [CcMode::Page, CcMode::Object] {
+            let label = format!(
+                "{} / {}",
+                allocation.label(),
+                match granularity {
+                    CcMode::Page => "page locks",
+                    CcMode::Object => "object locks",
+                    CcMode::None => "no locks",
+                }
+            );
+            let r = run(allocation, granularity, tps);
+            println!(
+                "{:<42} {:>10.1} {:>12.1} {:>9.2}% {:>10} {:>7.0}%",
+                label,
+                r.throughput_tps,
+                r.response_time.mean,
+                r.lock_conflict_ratio() * 100.0,
+                r.locks.deadlocks,
+                r.cpu_utilization * 100.0
+            );
+        }
+    }
+
+    println!();
+    println!("Expected shape (paper §4.7): with page-level locking the disk-based and");
+    println!("mixed allocations suffer severe lock contention (low throughput, long");
+    println!("response times), object-level locking removes the bottleneck, and the");
+    println!("NVEM-resident allocation shows little contention even with page locks");
+    println!("because locks are held only briefly.");
+}

@@ -1,0 +1,133 @@
+//! Integration tests for multi-level caching (§4.5, Fig. 4.4/4.5, Table 4.2):
+//! the relative effectiveness of volatile disk caches, non-volatile disk
+//! caches and a second-level NVEM buffer, and the exclusive-caching property
+//! of NVEM under NOFORCE.
+
+use tpsim::presets::{caching_config, debit_credit_workload, SecondLevel, DB_UNIT};
+use tpsim::Simulation;
+
+fn run(mm_pages: usize, second_level: SecondLevel, force: bool) -> tpsim::SimulationReport {
+    // 400 TPS (half the CPU capacity) on a strongly scaled-down database keeps
+    // the runs short while still driving the buffers into steady state so the
+    // multi-level caching effects of the paper show up.
+    let mut config = caching_config(mm_pages, second_level, force, 400.0);
+    config.warmup_ms = 1_000.0;
+    config.measure_ms = 4_000.0;
+    Simulation::new(config, debit_credit_workload(1_000)).run()
+}
+
+#[test]
+fn volatile_disk_cache_stops_hitting_once_mm_buffer_reaches_its_size() {
+    // Paper, Table 4.2a: with a 1,000-page volatile disk cache the read hits
+    // drop to (almost) zero as soon as the main-memory buffer reaches 1,000
+    // pages, because the cache then only holds a subset of the MM buffer.
+    let small_mm = run(200, SecondLevel::VolatileDiskCache(1_000), false);
+    let large_mm = run(1_000, SecondLevel::VolatileDiskCache(1_000), false);
+    let small_hits = small_mm.disk_cache_hit_ratio(DB_UNIT);
+    let large_hits = large_mm.disk_cache_hit_ratio(DB_UNIT);
+    assert!(
+        small_hits > 0.02,
+        "small MM buffer should produce disk-cache hits, got {small_hits}"
+    );
+    assert!(
+        large_hits < small_hits * 0.5,
+        "large MM buffer should collapse disk-cache hits: {large_hits} vs {small_hits}"
+    );
+}
+
+#[test]
+fn nonvolatile_disk_cache_beats_volatile_under_noforce() {
+    // NOFORCE produces many write misses; only the non-volatile cache
+    // allocates on write misses, so it keeps producing read hits.
+    let volatile = run(500, SecondLevel::VolatileDiskCache(1_000), false);
+    let nonvolatile = run(500, SecondLevel::NonVolatileDiskCache(1_000), false);
+    assert!(
+        nonvolatile.disk_cache_hit_ratio(DB_UNIT) >= volatile.disk_cache_hit_ratio(DB_UNIT),
+        "nv {} vs vol {}",
+        nonvolatile.disk_cache_hit_ratio(DB_UNIT),
+        volatile.disk_cache_hit_ratio(DB_UNIT)
+    );
+    assert!(
+        nonvolatile.response_time.mean < volatile.response_time.mean,
+        "nv {} vs vol {}",
+        nonvolatile.response_time.mean,
+        volatile.response_time.mean
+    );
+}
+
+#[test]
+fn nvem_cache_gives_best_response_times_of_all_second_level_caches() {
+    let volatile = run(500, SecondLevel::VolatileDiskCache(1_000), false);
+    let nonvolatile = run(500, SecondLevel::NonVolatileDiskCache(1_000), false);
+    let nvem = run(500, SecondLevel::NvemCache(1_000), false);
+    assert!(nvem.response_time.mean < nonvolatile.response_time.mean);
+    assert!(nvem.response_time.mean < volatile.response_time.mean);
+    // The NVEM cache actually produces second-level hits.
+    assert!(nvem.nvem_hit_ratio() > 0.0);
+}
+
+#[test]
+fn noforce_nvem_caching_is_equivalent_to_a_larger_mm_buffer() {
+    // Paper: "the combined hit ratio for the main memory and NVEM caches was
+    // the same as for a main memory buffer of the same aggregate size".
+    let combined = run(500, SecondLevel::NvemCache(1_000), false);
+    let aggregate = run(1_500, SecondLevel::None, false);
+    let combined_ratio = combined.buffer.combined_hit_ratio();
+    let aggregate_ratio = aggregate.mm_hit_ratio();
+    assert!(
+        (combined_ratio - aggregate_ratio).abs() < 0.05,
+        "combined {combined_ratio} vs aggregate {aggregate_ratio}"
+    );
+}
+
+#[test]
+fn write_buffer_alone_accounts_for_most_of_the_improvement() {
+    // Paper: "the use of a write buffer alone (no read hits) accounted already
+    // for the largest improvements compared to the disk-based configuration".
+    let disk_only = run(500, SecondLevel::None, false);
+    let write_buffer = run(500, SecondLevel::DiskCacheWriteBufferOnly, false);
+    let nv_cache = run(500, SecondLevel::NonVolatileDiskCache(1_000), false);
+    let total_gain = disk_only.response_time.mean - nv_cache.response_time.mean;
+    let wb_gain = disk_only.response_time.mean - write_buffer.response_time.mean;
+    assert!(total_gain > 0.0);
+    assert!(
+        wb_gain > total_gain * 0.6,
+        "write-buffer gain {wb_gain} vs total gain {total_gain}"
+    );
+}
+
+#[test]
+fn second_level_hit_ratios_shrink_as_the_mm_buffer_grows() {
+    let small = run(200, SecondLevel::NvemCache(1_000), false);
+    let large = run(2_000, SecondLevel::NvemCache(1_000), false);
+    assert!(small.nvem_hit_ratio() > large.nvem_hit_ratio());
+    assert!(large.mm_hit_ratio() > small.mm_hit_ratio());
+}
+
+#[test]
+fn force_reduces_second_level_cache_effectiveness() {
+    // Table 4.2b: FORCE floods the second-level caches with written pages and
+    // (for NVEM) causes double caching, lowering the additional hit ratios.
+    let noforce = run(500, SecondLevel::NvemCache(1_000), false);
+    let force = run(500, SecondLevel::NvemCache(1_000), true);
+    assert!(
+        force.nvem_hit_ratio() <= noforce.nvem_hit_ratio() + 0.01,
+        "force {} vs noforce {}",
+        force.nvem_hit_ratio(),
+        noforce.nvem_hit_ratio()
+    );
+}
+
+#[test]
+fn larger_mm_buffers_improve_response_time_with_diminishing_returns() {
+    let r200 = run(200, SecondLevel::None, false);
+    let r2000 = run(2_000, SecondLevel::None, false);
+    let r5000 = run(5_000, SecondLevel::None, false);
+    assert!(r2000.response_time.mean < r200.response_time.mean);
+    let first_gain = r200.response_time.mean - r2000.response_time.mean;
+    let second_gain = r2000.response_time.mean - r5000.response_time.mean;
+    assert!(
+        second_gain < first_gain,
+        "expected diminishing returns: {first_gain} then {second_gain}"
+    );
+}
