@@ -2,7 +2,7 @@
 //! measurement windows (each iteration is a full simulation run) and the
 //! quick run settings.
 
-use criterion::Criterion;
+use tpsim_bench::microbench::Criterion;
 use tpsim_bench::RunSettings;
 
 /// Criterion instance tuned for whole-simulation iterations.

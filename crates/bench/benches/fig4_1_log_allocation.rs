@@ -6,8 +6,8 @@
 
 mod common;
 
-use criterion::{black_box, Criterion};
 use tpsim::presets::LogVariant;
+use tpsim_bench::microbench::{black_box, Criterion};
 use tpsim_bench::runner::{fig4_1_point, run_debit_credit};
 
 fn bench(c: &mut Criterion) {

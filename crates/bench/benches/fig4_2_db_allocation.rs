@@ -2,8 +2,8 @@
 
 mod common;
 
-use criterion::{black_box, Criterion};
 use tpsim::presets::DebitCreditStorage;
+use tpsim_bench::microbench::{black_box, Criterion};
 use tpsim_bench::runner::{fig4_2_point, run_debit_credit};
 
 fn bench(c: &mut Criterion) {

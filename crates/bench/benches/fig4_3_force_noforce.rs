@@ -2,8 +2,8 @@
 
 mod common;
 
-use criterion::{black_box, Criterion};
 use tpsim::presets::DebitCreditStorage;
+use tpsim_bench::microbench::{black_box, Criterion};
 use tpsim_bench::runner::{fig4_3_point, run_debit_credit};
 
 fn bench(c: &mut Criterion) {
@@ -23,8 +23,7 @@ fn bench(c: &mut Criterion) {
             );
             group.bench_function(name, |b| {
                 b.iter(|| {
-                    let report =
-                        run_debit_credit(&settings, fig4_3_point(storage, force, 150.0));
+                    let report = run_debit_credit(&settings, fig4_3_point(storage, force, 150.0));
                     black_box(report.response_time.mean)
                 })
             });

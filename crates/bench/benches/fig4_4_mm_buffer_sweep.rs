@@ -3,8 +3,8 @@
 
 mod common;
 
-use criterion::{black_box, Criterion};
 use tpsim::presets::SecondLevel;
+use tpsim_bench::microbench::{black_box, Criterion};
 use tpsim_bench::runner::{caching_point, run_debit_credit};
 
 fn bench(c: &mut Criterion) {
@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     let series = [
         ("mm_only", SecondLevel::None),
         ("vol_disk_cache_1000", SecondLevel::VolatileDiskCache(1_000)),
-        ("nv_disk_cache_1000", SecondLevel::NonVolatileDiskCache(1_000)),
+        (
+            "nv_disk_cache_1000",
+            SecondLevel::NonVolatileDiskCache(1_000),
+        ),
         ("nvem_cache_1000", SecondLevel::NvemCache(1_000)),
     ];
     for (label, second) in series {

@@ -3,8 +3,8 @@
 
 mod common;
 
-use criterion::{black_box, Criterion};
 use tpsim::presets::SecondLevel;
+use tpsim_bench::microbench::{black_box, Criterion};
 use tpsim_bench::runner::{caching_point, run_debit_credit};
 
 fn bench(c: &mut Criterion) {

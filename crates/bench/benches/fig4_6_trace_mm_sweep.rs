@@ -3,8 +3,8 @@
 
 mod common;
 
-use criterion::{black_box, Criterion};
 use tpsim::presets::TraceStorage;
+use tpsim_bench::microbench::{black_box, Criterion};
 use tpsim_bench::runner::{run_trace, trace_point};
 
 fn bench(c: &mut Criterion) {
@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_6_trace_mm_sweep");
     let series = [
         ("mm_only", TraceStorage::MmOnly),
-        ("vol_disk_cache_2000", TraceStorage::VolatileDiskCache(2_000)),
+        (
+            "vol_disk_cache_2000",
+            TraceStorage::VolatileDiskCache(2_000),
+        ),
         ("nvem_cache_2000", TraceStorage::NvemCache(2_000)),
         ("nvem_resident", TraceStorage::NvemResident),
     ];

@@ -3,8 +3,8 @@
 
 mod common;
 
-use criterion::{black_box, Criterion};
 use tpsim::presets::TraceStorage;
+use tpsim_bench::microbench::{black_box, Criterion};
 use tpsim_bench::runner::{run_trace, trace_point};
 
 fn bench(c: &mut Criterion) {

@@ -3,9 +3,9 @@
 
 mod common;
 
-use criterion::{black_box, Criterion};
 use lockmgr::CcMode;
 use tpsim::presets::ContentionAllocation;
+use tpsim_bench::microbench::{black_box, Criterion};
 use tpsim_bench::runner::{fig4_8_point, run_contention};
 
 fn bench(c: &mut Criterion) {
@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
             let name = format!(
                 "{}/{}",
                 allocation.label(),
-                if granularity == CcMode::Page { "page" } else { "object" }
+                if granularity == CcMode::Page {
+                    "page"
+                } else {
+                    "object"
+                }
             );
             group.bench_function(name, |b| {
                 b.iter(|| {

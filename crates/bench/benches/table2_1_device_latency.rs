@@ -8,9 +8,9 @@
 
 mod common;
 
-use criterion::{black_box, Criterion};
 use dbmodel::PageId;
 use storage::{DiskUnit, DiskUnitKind, DiskUnitParams, IoKind, NvemParams};
+use tpsim_bench::microbench::{black_box, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_1_device_latency");

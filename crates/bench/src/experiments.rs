@@ -4,7 +4,9 @@
 use std::fmt::Write as _;
 
 use lockmgr::CcMode;
-use tpsim::presets::{ContentionAllocation, DebitCreditStorage, LogVariant, SecondLevel, TraceStorage, DB_UNIT};
+use tpsim::presets::{
+    ContentionAllocation, DebitCreditStorage, LogVariant, SecondLevel, TraceStorage, DB_UNIT,
+};
 use tpsim::tables;
 
 use crate::runner::{
@@ -33,17 +35,50 @@ pub struct ExperimentResult {
 /// Every experiment of the paper, in paper order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "table2.1", title: "Table 2.1: storage cost and access times" },
-        Experiment { id: "table2.2", title: "Table 2.2: usage forms of intermediate storage types" },
-        Experiment { id: "fig4.1", title: "Fig. 4.1: influence of log file allocation (Debit-Credit, NOFORCE)" },
-        Experiment { id: "fig4.2", title: "Fig. 4.2: impact of database allocation (Debit-Credit, NOFORCE)" },
-        Experiment { id: "fig4.3", title: "Fig. 4.3: FORCE vs NOFORCE (Debit-Credit)" },
-        Experiment { id: "fig4.4", title: "Fig. 4.4: caching for different main-memory buffer sizes (NOFORCE)" },
-        Experiment { id: "table4.2", title: "Table 4.2: main memory and 2nd-level cache hit ratios" },
-        Experiment { id: "fig4.5", title: "Fig. 4.5: caching for different 2nd-level buffer sizes (NOFORCE)" },
-        Experiment { id: "fig4.6", title: "Fig. 4.6: impact of main-memory buffer size for real-life workload" },
-        Experiment { id: "fig4.7", title: "Fig. 4.7: impact of 2nd-level buffer size for real-life workload" },
-        Experiment { id: "fig4.8", title: "Fig. 4.8: page- vs object-locking for different allocation strategies" },
+        Experiment {
+            id: "table2.1",
+            title: "Table 2.1: storage cost and access times",
+        },
+        Experiment {
+            id: "table2.2",
+            title: "Table 2.2: usage forms of intermediate storage types",
+        },
+        Experiment {
+            id: "fig4.1",
+            title: "Fig. 4.1: influence of log file allocation (Debit-Credit, NOFORCE)",
+        },
+        Experiment {
+            id: "fig4.2",
+            title: "Fig. 4.2: impact of database allocation (Debit-Credit, NOFORCE)",
+        },
+        Experiment {
+            id: "fig4.3",
+            title: "Fig. 4.3: FORCE vs NOFORCE (Debit-Credit)",
+        },
+        Experiment {
+            id: "fig4.4",
+            title: "Fig. 4.4: caching for different main-memory buffer sizes (NOFORCE)",
+        },
+        Experiment {
+            id: "table4.2",
+            title: "Table 4.2: main memory and 2nd-level cache hit ratios",
+        },
+        Experiment {
+            id: "fig4.5",
+            title: "Fig. 4.5: caching for different 2nd-level buffer sizes (NOFORCE)",
+        },
+        Experiment {
+            id: "fig4.6",
+            title: "Fig. 4.6: impact of main-memory buffer size for real-life workload",
+        },
+        Experiment {
+            id: "fig4.7",
+            title: "Fig. 4.7: impact of 2nd-level buffer size for real-life workload",
+        },
+        Experiment {
+            id: "fig4.8",
+            title: "Fig. 4.8: page- vs object-locking for different allocation strategies",
+        },
     ]
 }
 
@@ -78,7 +113,11 @@ pub fn run_experiment(id: &str, settings: &RunSettings) -> ExperimentResult {
 /// one column per rate.
 fn format_rate_table(points: &[SweepPoint], rates: &[f64], value: &str) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{:<46}", format!("series \\ arrival rate [TPS] ({value})"));
+    let _ = write!(
+        out,
+        "{:<46}",
+        format!("series \\ arrival rate [TPS] ({value})")
+    );
     for r in rates {
         let _ = write!(out, "{:>10.0}", r);
     }
@@ -112,7 +151,11 @@ fn format_rate_table(points: &[SweepPoint], rates: &[f64], value: &str) -> Strin
 /// Formats a generic x-sweep (buffer sizes) of response times.
 fn format_x_table(points: &[SweepPoint], xs: &[usize], x_name: &str) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{:<46}", format!("series \\ {x_name} (mean response [ms])"));
+    let _ = write!(
+        out,
+        "{:<46}",
+        format!("series \\ {x_name} (mean response [ms])")
+    );
     for x in xs {
         let _ = write!(out, "{:>10}", x);
     }
@@ -167,7 +210,10 @@ fn table_2_1() -> String {
                 row.access_time_ms.1 * 1000.0
             )
         } else {
-            format!("{:.0} - {:.0} ms", row.access_time_ms.0, row.access_time_ms.1)
+            format!(
+                "{:.0} - {:.0} ms",
+                row.access_time_ms.0, row.access_time_ms.1
+            )
         };
         let _ = writeln!(out, "{:<26} {:>22} {:>26}", row.storage, price, access);
     }
@@ -307,11 +353,23 @@ fn fig4_3(settings: &RunSettings) -> String {
 fn caching_series() -> Vec<(String, SecondLevel)> {
     vec![
         ("MM caching only".to_string(), SecondLevel::None),
-        ("vol. disk cache (1000)".to_string(), SecondLevel::VolatileDiskCache(1_000)),
-        ("write buffer in nv cache".to_string(), SecondLevel::DiskCacheWriteBufferOnly),
-        ("nv disk cache (1000)".to_string(), SecondLevel::NonVolatileDiskCache(1_000)),
+        (
+            "vol. disk cache (1000)".to_string(),
+            SecondLevel::VolatileDiskCache(1_000),
+        ),
+        (
+            "write buffer in nv cache".to_string(),
+            SecondLevel::DiskCacheWriteBufferOnly,
+        ),
+        (
+            "nv disk cache (1000)".to_string(),
+            SecondLevel::NonVolatileDiskCache(1_000),
+        ),
         ("NVEM buffer (500)".to_string(), SecondLevel::NvemCache(500)),
-        ("NVEM buffer (1000)".to_string(), SecondLevel::NvemCache(1_000)),
+        (
+            "NVEM buffer (1000)".to_string(),
+            SecondLevel::NvemCache(1_000),
+        ),
     ]
 }
 
@@ -335,8 +393,14 @@ fn fig4_4(settings: &RunSettings) -> String {
 fn table_4_2(settings: &RunSettings) -> String {
     let mm_sizes = [200usize, 500, 1_000, 2_000];
     let series: Vec<(String, SecondLevel)> = vec![
-        ("vol. disk cache 1000".to_string(), SecondLevel::VolatileDiskCache(1_000)),
-        ("nv disk cache 1000".to_string(), SecondLevel::NonVolatileDiskCache(1_000)),
+        (
+            "vol. disk cache 1000".to_string(),
+            SecondLevel::VolatileDiskCache(1_000),
+        ),
+        (
+            "nv disk cache 1000".to_string(),
+            SecondLevel::NonVolatileDiskCache(1_000),
+        ),
         ("NVEM cache 1000".to_string(), SecondLevel::NvemCache(1_000)),
         ("NVEM cache 500".to_string(), SecondLevel::NvemCache(500)),
     ];
@@ -364,7 +428,10 @@ fn table_4_2(settings: &RunSettings) -> String {
             }
         }
         let results = runner::run_sweep(settings, points);
-        let _ = writeln!(out, "{strategy} — hit ratios [%] by main-memory buffer size");
+        let _ = writeln!(
+            out,
+            "{strategy} — hit ratios [%] by main-memory buffer size"
+        );
         let _ = write!(out, "{:<28}", "cache level");
         for mm in mm_sizes {
             let _ = write!(out, "{:>10}", mm);
@@ -408,7 +475,7 @@ fn second_level_disk_hit_ratio(report: &tpsim::SimulationReport) -> f64 {
     if refs == 0 {
         return 0.0;
     }
-    report.disk_units[DB_UNIT].stats.read_hits as f64 / refs as f64
+    report.devices[DB_UNIT].stats.read_hits as f64 / refs as f64
 }
 
 fn fig4_5(settings: &RunSettings) -> String {
@@ -437,7 +504,10 @@ fn fig4_5(settings: &RunSettings) -> String {
     let results = runner::run_sweep(settings, points);
     let mut out = format_x_table(&results, &cache_sizes, "2nd-level cache size");
     let _ = writeln!(out);
-    let _ = writeln!(out, "additional 2nd-level hit ratio [%] (main-memory buffer 500 pages):");
+    let _ = writeln!(
+        out,
+        "additional 2nd-level hit ratio [%] (main-memory buffer 500 pages):"
+    );
     let _ = write!(out, "{:<46}", "series \\ 2nd-level cache size");
     for s in cache_sizes {
         let _ = write!(out, "{:>10}", s);
@@ -469,9 +539,18 @@ fn fig4_5(settings: &RunSettings) -> String {
 fn trace_series() -> Vec<(String, TraceStorage)> {
     vec![
         ("MM caching only".to_string(), TraceStorage::MmOnly),
-        ("vol. disk cache (2000)".to_string(), TraceStorage::VolatileDiskCache(2_000)),
-        ("non-vol. disk cache (2000)".to_string(), TraceStorage::NonVolatileDiskCache(2_000)),
-        ("NVEM cache (2000)".to_string(), TraceStorage::NvemCache(2_000)),
+        (
+            "vol. disk cache (2000)".to_string(),
+            TraceStorage::VolatileDiskCache(2_000),
+        ),
+        (
+            "non-vol. disk cache (2000)".to_string(),
+            TraceStorage::NonVolatileDiskCache(2_000),
+        ),
+        (
+            "NVEM cache (2000)".to_string(),
+            TraceStorage::NvemCache(2_000),
+        ),
         ("solid-state disk".to_string(), TraceStorage::Ssd),
         ("NVEM-resident".to_string(), TraceStorage::NvemResident),
     ]
@@ -541,7 +620,11 @@ fn fig4_8(settings: &RunSettings) -> String {
             let label = format!(
                 "{} - {}",
                 allocation.label(),
-                if granularity == CcMode::Page { "page locking" } else { "object locking" }
+                if granularity == CcMode::Page {
+                    "page locking"
+                } else {
+                    "object locking"
+                }
             );
             for &rate in &settings.rates {
                 points.push((
@@ -569,8 +652,8 @@ mod tests {
     fn experiment_catalogue_covers_all_tables_and_figures() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for expected in [
-            "table2.1", "table2.2", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "table4.2",
-            "fig4.5", "fig4.6", "fig4.7", "fig4.8",
+            "table2.1", "table2.2", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "table4.2", "fig4.5",
+            "fig4.6", "fig4.7", "fig4.8",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }

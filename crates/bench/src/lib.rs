@@ -16,6 +16,7 @@
 //! in `EXPERIMENTS.md` are exactly what the benches exercise.
 
 pub mod experiments;
+pub mod microbench;
 pub mod runner;
 
 pub use experiments::{all_experiments, Experiment, ExperimentResult};

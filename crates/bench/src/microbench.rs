@@ -1,0 +1,203 @@
+//! A minimal, dependency-free stand-in for the subset of the Criterion API
+//! the experiment benches use.
+//!
+//! The workspace builds in environments without network access to a crate
+//! registry, so the benches cannot depend on the real `criterion` crate.
+//! This module provides the same surface — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`black_box`] — with
+//! a simple fixed-sample timing loop and a plain-text report, which is plenty
+//! for whole-simulation iterations where each sample is milliseconds long.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a benchmark result away.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Timing summary of one benchmark function.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Group name / function label.
+    pub id: String,
+    /// Number of timed iterations.
+    pub iterations: u64,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Slowest observed iteration.
+    pub max: Duration,
+}
+
+/// Top-level benchmark driver (drop-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark function.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the un-timed warm-up budget per benchmark function.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the timed measurement budget per benchmark function.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a named group of benchmark functions.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Prints the collected timings.
+    pub fn final_summary(&self) {
+        for s in &self.results {
+            println!(
+                "{:<60} {:>10.3} ms/iter (min {:.3}, max {:.3}, {} iters)",
+                s.id,
+                s.mean.as_secs_f64() * 1e3,
+                s.min.as_secs_f64() * 1e3,
+                s.max.as_secs_f64() * 1e3,
+                s.iterations
+            );
+        }
+    }
+}
+
+/// A named group of benchmark functions.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` under the group's timing policy and records the result.
+    pub fn bench_function(&mut self, label: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, label.into());
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            sample: None,
+        };
+        f(&mut bencher);
+        let mut sample = bencher.sample.unwrap_or(Sample {
+            id: String::new(),
+            iterations: 0,
+            mean: Duration::ZERO,
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+        });
+        sample.id = id;
+        eprintln!(
+            "bench {:<58} {:>10.3} ms/iter ({} iters)",
+            sample.id,
+            sample.mean.as_secs_f64() * 1e3,
+            sample.iterations
+        );
+        self.criterion.results.push(sample);
+    }
+
+    /// Ends the group (kept for Criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark function.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times `routine`: warms up until the warm-up budget is spent, then runs
+    /// timed iterations until either the sample size is reached or the
+    /// measurement budget is exhausted (at least one timed iteration always
+    /// runs).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let measure_start = Instant::now();
+        while iterations < self.sample_size as u64
+            && (iterations == 0 || measure_start.elapsed() < self.measurement_time)
+        {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+            iterations += 1;
+        }
+        self.sample = Some(Sample {
+            id: String::new(),
+            iterations,
+            mean: total / iterations.max(1) as u32,
+            min,
+            max,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_at_least_one_iteration() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::from_millis(50));
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u32;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls >= 1);
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].id, "g/f");
+        assert!(c.results[0].iterations >= 1);
+        c.final_summary();
+    }
+}

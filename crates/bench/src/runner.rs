@@ -2,6 +2,9 @@
 //! rates), single-point runners for each workload family, and a parallel
 //! sweep helper.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use tpsim::presets::{self, DebitCreditStorage, LogVariant, SecondLevel, TraceStorage};
 use tpsim::{Simulation, SimulationConfig, SimulationReport};
 
@@ -29,6 +32,8 @@ pub struct RunSettings {
     pub trace_rate: f64,
     /// Run the points of a sweep on multiple threads.
     pub parallel: bool,
+    /// Worker threads for parallel sweeps (0 = one per available core).
+    pub threads: usize,
 }
 
 impl RunSettings {
@@ -44,6 +49,7 @@ impl RunSettings {
             caching_rate: 500.0,
             trace_rate: 40.0,
             parallel: true,
+            threads: 0,
         }
     }
 
@@ -60,6 +66,7 @@ impl RunSettings {
             caching_rate: 500.0,
             trace_rate: 40.0,
             parallel: true,
+            threads: 0,
         }
     }
 
@@ -74,6 +81,7 @@ impl RunSettings {
             caching_rate: 200.0,
             trace_rate: 25.0,
             parallel: true,
+            threads: 0,
         }
     }
 
@@ -127,12 +135,37 @@ pub enum Family {
     Contention,
 }
 
+/// Derives the RNG seed of sweep point `index` from the configuration's base
+/// seed.
+///
+/// Every point of a sweep gets its own decorrelated random stream, and the
+/// derivation depends only on `(base seed, point index)` — never on thread
+/// count or scheduling — so a parallel sweep is byte-identical to the serial
+/// one.
+pub fn derive_run_seed(base: u64, index: u64) -> u64 {
+    // The kernel's canonical splitmix64 mixer over the (base, index) pair.
+    simkernel::rng::mix64(base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// Runs a set of `(series, x, config, family)` points, in parallel when the
 /// settings allow it, preserving the input order in the output.
+///
+/// Each point runs as an independent simulation with a per-point seed derived
+/// by [`derive_run_seed`]; the points are distributed over a scoped thread
+/// pool with work stealing, and the output order (and every report in it) is
+/// identical to a serial run of the same points.
 pub fn run_sweep(
     settings: &RunSettings,
     points: Vec<(String, f64, SimulationConfig, Family)>,
 ) -> Vec<SweepPoint> {
+    let jobs: Vec<(String, f64, SimulationConfig, Family)> = points
+        .into_iter()
+        .enumerate()
+        .map(|(i, (series, x, mut config, family))| {
+            config.seed = derive_run_seed(config.seed, i as u64);
+            (series, x, config, family)
+        })
+        .collect();
     let run_one = |(series, x, config, family): (String, f64, SimulationConfig, Family)| {
         let report = match family {
             Family::DebitCredit => run_debit_credit(settings, config),
@@ -141,43 +174,37 @@ pub fn run_sweep(
         };
         SweepPoint { series, x, report }
     };
-    if !settings.parallel || points.len() <= 1 {
-        return points.into_iter().map(run_one).collect();
+    if !settings.parallel || jobs.len() <= 1 {
+        return jobs.into_iter().map(run_one).collect();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(points.len());
-    let jobs: Vec<(usize, (String, f64, SimulationConfig, Family))> =
-        points.into_iter().enumerate().collect();
-    let chunks: Vec<Vec<_>> = (0..threads)
-        .map(|t| {
-            jobs.iter()
-                .filter(|(i, _)| i % threads == t)
-                .cloned()
-                .collect()
+    let threads = if settings.threads > 0 {
+        settings.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+    .min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepPoint>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let point = run_one(job.clone());
+                *slots[i].lock().expect("sweep slot poisoned") = Some(point);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("sweep worker skipped a point")
         })
-        .collect();
-    let mut results: Vec<(usize, SweepPoint)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk
-                        .into_iter()
-                        .map(|(i, p)| (i, run_one(p)))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope failed");
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, p)| p).collect()
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -278,12 +305,20 @@ mod tests {
         settings.parallel = false;
         let seq = run_sweep(&settings, mk_points());
         settings.parallel = true;
+        settings.threads = 2;
         let par = run_sweep(&settings, mk_points());
         assert_eq!(seq.len(), par.len());
         for (s, p) in seq.iter().zip(par.iter()) {
             assert_eq!(s.series, p.series);
-            assert_eq!(s.report.completed, p.report.completed);
-            assert!((s.report.response_time.mean - p.report.response_time.mean).abs() < 1e-9);
+            // Byte-identical: the full report must match, not just summaries.
+            assert_eq!(s.report, p.report);
         }
+    }
+
+    #[test]
+    fn per_run_seeds_are_deterministic_and_decorrelated() {
+        assert_eq!(derive_run_seed(1, 0), derive_run_seed(1, 0));
+        assert_ne!(derive_run_seed(1, 0), derive_run_seed(1, 1));
+        assert_ne!(derive_run_seed(1, 0), derive_run_seed(2, 0));
     }
 }

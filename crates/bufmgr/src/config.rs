@@ -299,8 +299,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_cache_plus_write_buffer() {
-        let mut c = BufferConfig::disk_based(&db(), 100)
-            .with_nvem_write_buffer(100);
+        let mut c = BufferConfig::disk_based(&db(), 100).with_nvem_write_buffer(100);
         c.nvem_cache_pages = 100;
         c.partitions[0].nvem_cache = SecondLevelMode::All;
         assert!(c.validate().is_err());
@@ -326,7 +325,10 @@ mod tests {
 
     #[test]
     fn location_describe() {
-        assert_eq!(PageLocation::MainMemoryResident.describe(), "main memory resident");
+        assert_eq!(
+            PageLocation::MainMemoryResident.describe(),
+            "main memory resident"
+        );
         assert_eq!(PageLocation::DiskUnit(3).describe(), "disk unit 3");
         assert_eq!(PageLocation::NvemResident.describe(), "NVEM resident");
     }

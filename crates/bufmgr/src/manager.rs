@@ -183,7 +183,8 @@ impl BufferManager {
                 }
             }
             PageLocation::DiskUnit(unit) => {
-                let migrate = self.nvem_cache.is_some() && vpolicy.nvem_cache.migrates(vstate.dirty);
+                let migrate =
+                    self.nvem_cache.is_some() && vpolicy.nvem_cache.migrates(vstate.dirty);
                 if migrate {
                     ops.push(PageOp::NvemTransfer {
                         page: vpage,
@@ -268,7 +269,10 @@ impl BufferManager {
             PageLocation::DiskUnit(unit) => {
                 let policy = self.config.policy(partition);
                 let in_nvem = policy.nvem_cache.enabled()
-                    && self.nvem_cache.as_mut().is_some_and(|c| c.get(&page).is_some());
+                    && self
+                        .nvem_cache
+                        .as_mut()
+                        .is_some_and(|c| c.get(&page).is_some());
                 if in_nvem {
                     ops.push(PageOp::NvemTransfer {
                         page,
@@ -421,7 +425,13 @@ mod tests {
         let mut bm = BufferManager::new(disk_config(10));
         let miss = bm.reference_page(0, PageId(1), false);
         assert!(!miss.main_memory_hit);
-        assert_eq!(miss.ops, vec![PageOp::UnitRead { unit: 0, page: PageId(1) }]);
+        assert_eq!(
+            miss.ops,
+            vec![PageOp::UnitRead {
+                unit: 0,
+                page: PageId(1)
+            }]
+        );
         let hit = bm.reference_page(0, PageId(1), false);
         assert!(hit.main_memory_hit);
         assert!(hit.ops.is_empty());
@@ -439,8 +449,14 @@ mod tests {
         assert_eq!(
             out.ops,
             vec![
-                PageOp::UnitWrite { unit: 0, page: PageId(1) },
-                PageOp::UnitRead { unit: 0, page: PageId(3) },
+                PageOp::UnitWrite {
+                    unit: 0,
+                    page: PageId(1)
+                },
+                PageOp::UnitRead {
+                    unit: 0,
+                    page: PageId(3)
+                },
             ]
         );
         assert_eq!(bm.stats().mm_evictions, 1);
@@ -453,7 +469,13 @@ mod tests {
         let mut bm = BufferManager::new(disk_config(1));
         bm.reference_page(0, PageId(1), false);
         let out = bm.reference_page(0, PageId(2), false);
-        assert_eq!(out.ops, vec![PageOp::UnitRead { unit: 0, page: PageId(2) }]);
+        assert_eq!(
+            out.ops,
+            vec![PageOp::UnitRead {
+                unit: 0,
+                page: PageId(2)
+            }]
+        );
         assert_eq!(bm.stats().dirty_evictions, 0);
     }
 
@@ -479,15 +501,24 @@ mod tests {
         let out = bm.reference_page(0, PageId(1), true);
         assert_eq!(
             out.ops,
-            vec![PageOp::NvemTransfer { page: PageId(1), to_nvem: false }]
+            vec![PageOp::NvemTransfer {
+                page: PageId(1),
+                to_nvem: false
+            }]
         );
         // Evicting the dirty page writes it back to NVEM, not to a disk unit.
         let out2 = bm.reference_page(0, PageId(2), false);
         assert_eq!(
             out2.ops,
             vec![
-                PageOp::NvemTransfer { page: PageId(1), to_nvem: true },
-                PageOp::NvemTransfer { page: PageId(2), to_nvem: false },
+                PageOp::NvemTransfer {
+                    page: PageId(1),
+                    to_nvem: true
+                },
+                PageOp::NvemTransfer {
+                    page: PageId(2),
+                    to_nvem: false
+                },
             ]
         );
     }
@@ -501,9 +532,18 @@ mod tests {
         assert_eq!(
             out.ops,
             vec![
-                PageOp::NvemTransfer { page: PageId(1), to_nvem: true },
-                PageOp::UnitWriteAsync { unit: 0, page: PageId(1) },
-                PageOp::UnitRead { unit: 0, page: PageId(2) },
+                PageOp::NvemTransfer {
+                    page: PageId(1),
+                    to_nvem: true
+                },
+                PageOp::UnitWriteAsync {
+                    unit: 0,
+                    page: PageId(1)
+                },
+                PageOp::UnitRead {
+                    unit: 0,
+                    page: PageId(2)
+                },
             ]
         );
         assert_eq!(bm.stats().write_buffer_absorbed, 1);
@@ -522,16 +562,18 @@ mod tests {
         bm.reference_page(0, PageId(2), true); // evicts 1 → WB
         bm.reference_page(0, PageId(3), true); // evicts 2 → WB
         let out = bm.reference_page(0, PageId(4), true); // evicts 3 → overflow
-        assert!(out
-            .ops
-            .contains(&PageOp::UnitWrite { unit: 0, page: PageId(3) }));
+        assert!(out.ops.contains(&PageOp::UnitWrite {
+            unit: 0,
+            page: PageId(3)
+        }));
         assert_eq!(bm.stats().write_buffer_overflows, 1);
         // After a completion there is room again.
         bm.async_write_complete(PageId(1));
         let out = bm.reference_page(0, PageId(5), true); // evicts 4
-        assert!(out
-            .ops
-            .contains(&PageOp::UnitWriteAsync { unit: 0, page: PageId(4) }));
+        assert!(out.ops.contains(&PageOp::UnitWriteAsync {
+            unit: 0,
+            page: PageId(4)
+        }));
     }
 
     #[test]
@@ -545,9 +587,18 @@ mod tests {
         assert_eq!(
             out.ops,
             vec![
-                PageOp::NvemTransfer { page: PageId(1), to_nvem: true },
-                PageOp::UnitWriteAsync { unit: 0, page: PageId(1) },
-                PageOp::UnitRead { unit: 0, page: PageId(3) },
+                PageOp::NvemTransfer {
+                    page: PageId(1),
+                    to_nvem: true
+                },
+                PageOp::UnitWriteAsync {
+                    unit: 0,
+                    page: PageId(1)
+                },
+                PageOp::UnitRead {
+                    unit: 0,
+                    page: PageId(3)
+                },
             ]
         );
         assert!(bm.nvem_contains(PageId(1)));
@@ -577,8 +628,14 @@ mod tests {
         assert_eq!(
             ops,
             vec![
-                PageOp::NvemTransfer { page: PageId(1), to_nvem: true },
-                PageOp::UnitWriteAsync { unit: 0, page: PageId(1) },
+                PageOp::NvemTransfer {
+                    page: PageId(1),
+                    to_nvem: true
+                },
+                PageOp::UnitWriteAsync {
+                    unit: 0,
+                    page: PageId(1)
+                },
             ]
         );
         // The page stays in main memory *and* in the NVEM cache.
@@ -614,7 +671,13 @@ mod tests {
         let mut bm = BufferManager::new(cfg);
         bm.reference_page(1, PageId(7), true);
         let ops = bm.force_page(1, PageId(7));
-        assert_eq!(ops, vec![PageOp::UnitWrite { unit: 0, page: PageId(7) }]);
+        assert_eq!(
+            ops,
+            vec![PageOp::UnitWrite {
+                unit: 0,
+                page: PageId(7)
+            }]
+        );
         assert!(!bm.mm_is_dirty(PageId(7)));
         // Forcing again is a no-op (already clean).
         assert!(bm.force_page(1, PageId(7)).is_empty());
@@ -627,11 +690,20 @@ mod tests {
         bm.reference_page(0, PageId(1), false); // clean
         let out = bm.reference_page(0, PageId(2), true);
         // Clean victim is dropped, not migrated.
-        assert_eq!(out.ops, vec![PageOp::UnitRead { unit: 0, page: PageId(2) }]);
+        assert_eq!(
+            out.ops,
+            vec![PageOp::UnitRead {
+                unit: 0,
+                page: PageId(2)
+            }]
+        );
         assert!(!bm.nvem_contains(PageId(1)));
         // Dirty victim migrates.
         let out = bm.reference_page(0, PageId(3), false);
-        assert!(out.ops.contains(&PageOp::NvemTransfer { page: PageId(2), to_nvem: true }));
+        assert!(out.ops.contains(&PageOp::NvemTransfer {
+            page: PageId(2),
+            to_nvem: true
+        }));
         assert!(bm.nvem_contains(PageId(2)));
     }
 

@@ -105,9 +105,18 @@ mod tests {
             page: PageId(1),
             to_nvem: true,
         };
-        let read = PageOp::UnitRead { unit: 0, page: PageId(2) };
-        let write = PageOp::UnitWrite { unit: 0, page: PageId(3) };
-        let async_write = PageOp::UnitWriteAsync { unit: 1, page: PageId(4) };
+        let read = PageOp::UnitRead {
+            unit: 0,
+            page: PageId(2),
+        };
+        let write = PageOp::UnitWrite {
+            unit: 0,
+            page: PageId(3),
+        };
+        let async_write = PageOp::UnitWriteAsync {
+            unit: 1,
+            page: PageId(4),
+        };
         assert!(nvem.is_synchronous() && nvem.holds_cpu());
         assert!(read.is_synchronous() && !read.holds_cpu());
         assert!(write.is_synchronous());

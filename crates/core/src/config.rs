@@ -5,7 +5,7 @@
 use bufmgr::BufferConfig;
 use lockmgr::CcMode;
 use simkernel::time::SimTime;
-use storage::{DiskUnitParams, NvemParams};
+use storage::{DeviceSpec, NvemParams};
 
 /// CM (computing module) parameters — Table 3.3 / Table 4.1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,6 +28,17 @@ pub struct CmParams {
     /// Whether logging is performed (one log page write per update
     /// transaction at commit).
     pub logging: bool,
+    /// Group-commit batch size for device log writes: up to this many
+    /// committing transactions share one log page write.  Applies to
+    /// [`LogAllocation::DiskUnit`] logs and to the synchronous overflow
+    /// writes of [`LogAllocation::DiskUnitViaNvemWriteBuffer`] (absorbed
+    /// write-buffer log writes are already asynchronous and never batch);
+    /// NVEM-resident logs are unaffected.  `1` disables group commit (every
+    /// committer writes its own log page, as in the paper).
+    pub group_commit_size: usize,
+    /// Maximum time (ms) a committing transaction waits for the group-commit
+    /// batch to fill before the batch is flushed anyway.
+    pub group_commit_timeout_ms: SimTime,
 }
 
 impl Default for CmParams {
@@ -43,6 +54,8 @@ impl Default for CmParams {
             num_cpus: 4,
             mips: 50.0,
             logging: true,
+            group_commit_size: 1,
+            group_commit_timeout_ms: 1.0,
         }
     }
 }
@@ -88,11 +101,14 @@ pub enum LogAllocation {
 pub struct SimulationConfig {
     /// CM parameters.
     pub cm: CmParams,
-    /// NVEM device parameters.
+    /// NVEM device parameters (for the synchronous CPU-access path).
     pub nvem: NvemParams,
-    /// The disk units of the configuration (indexed by the ids used in
-    /// [`bufmgr::PageLocation::DiskUnit`] and [`LogAllocation::DiskUnit`]).
-    pub disk_units: Vec<DiskUnitParams>,
+    /// The external storage devices of the configuration (indexed by the ids
+    /// used in [`bufmgr::PageLocation::DiskUnit`] and
+    /// [`LogAllocation::DiskUnit`]).  Each slot is a [`DeviceSpec`] — a disk
+    /// unit of any kind or an NVEM server device — so storage topologies are
+    /// configuration, not engine code.
+    pub devices: Vec<DeviceSpec>,
     /// Log allocation.
     pub log_allocation: LogAllocation,
     /// Buffer-manager configuration (buffer sizes, update strategy,
@@ -126,11 +142,17 @@ impl SimulationConfig {
         if self.measure_ms <= 0.0 {
             return Err("measurement interval must be positive".into());
         }
+        if self.cm.group_commit_size == 0 {
+            return Err("group commit size must be at least 1".into());
+        }
+        if self.cm.group_commit_size > 1 && self.cm.group_commit_timeout_ms <= 0.0 {
+            return Err("group commit requires a positive timeout".into());
+        }
         self.buffer.validate()?;
-        // Every disk-unit reference must exist.
+        // Every device reference must exist.
         let check_unit = |u: usize, what: &str| -> Result<(), String> {
-            if u >= self.disk_units.len() {
-                Err(format!("{what} references unknown disk unit {u}"))
+            if u >= self.devices.len() {
+                Err(format!("{what} references unknown storage device {u}"))
             } else {
                 Ok(())
             }
@@ -171,13 +193,13 @@ impl SimulationConfig {
 mod tests {
     use super::*;
     use bufmgr::PartitionPolicy;
-    use storage::DiskUnitKind;
+    use storage::{DiskUnitKind, DiskUnitParams};
 
     fn minimal_config() -> SimulationConfig {
         SimulationConfig {
             cm: CmParams::default(),
             nvem: NvemParams::default(),
-            disk_units: vec![DiskUnitParams::database_disks(DiskUnitKind::Regular, 2, 8)],
+            devices: vec![DiskUnitParams::database_disks(DiskUnitKind::Regular, 2, 8).into()],
             log_allocation: LogAllocation::DiskUnit(0),
             buffer: BufferConfig {
                 mm_buffer_pages: 100,
@@ -232,6 +254,27 @@ mod tests {
         c.log_allocation = LogAllocation::DiskUnitViaNvemWriteBuffer(0);
         assert!(c.validate().is_err());
         c.buffer.nvem_write_buffer_pages = 100;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_group_commit() {
+        let mut c = minimal_config();
+        c.cm.group_commit_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.cm.group_commit_size = 4;
+        c.cm.group_commit_timeout_ms = 0.0;
+        assert!(c.validate().is_err());
+        c.cm.group_commit_timeout_ms = 2.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn nvem_server_device_slot_validates() {
+        let mut c = minimal_config();
+        c.devices.push(storage::NvemDeviceParams::default().into());
+        c.log_allocation = LogAllocation::DiskUnit(1);
         assert!(c.validate().is_ok());
     }
 

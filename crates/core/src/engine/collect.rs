@@ -1,0 +1,118 @@
+//! Statistics collection: warm-up reset, per-completion recording and the
+//! final report.
+
+use dbmodel::WorkloadGenerator;
+use simkernel::stats::TimeWeighted;
+use simkernel::time::SimTime;
+
+use crate::metrics::{DeviceReport, ResponseTimeStats, SimulationReport, TxTypeReport};
+
+use super::Simulation;
+
+impl<W: WorkloadGenerator> Simulation<W> {
+    /// Records the completion of a transaction (no-op during warm-up).
+    pub(super) fn record_completion(&mut self, now: SimTime, arrival: SimTime, tx_type: usize) {
+        if !self.warmup_done {
+            return;
+        }
+        let resp = now - arrival;
+        self.response.record(resp);
+        self.response_hist.record(resp);
+        self.per_type.entry(tx_type).or_default().record(resp);
+        self.completed += 1;
+    }
+
+    /// End of the warm-up interval: reset every statistic without touching
+    /// the simulation state (buffers, caches, queues keep their contents).
+    pub(super) fn end_warmup(&mut self) {
+        let now = self.queue.now();
+        self.warmup_done = true;
+        self.measure_start = now;
+        self.response.reset();
+        self.response_hist.reset();
+        self.per_type.clear();
+        self.completed = 0;
+        self.aborts = 0;
+        self.log_group_writes = 0;
+        self.nvem_busy = 0.0;
+        self.cpus.reset_stats(now);
+        for u in &mut self.units {
+            u.device.reset_stats();
+            u.controllers.reset_stats(now);
+            u.disks.reset_stats(now);
+        }
+        self.bufmgr.reset_stats();
+        self.lockmgr.reset_stats();
+        self.active_tw = TimeWeighted::new();
+        self.active_tw.record(now, self.active_count as f64);
+        self.inputq_tw = TimeWeighted::new();
+        self.inputq_tw.record(now, self.input_queue.len() as f64);
+    }
+
+    /// Assembles the final report at the end of the run.
+    pub(super) fn build_report(mut self) -> SimulationReport {
+        let now = self.queue.now();
+        let measured = (now - self.measure_start).max(1e-9);
+        self.active_tw.record(now, self.active_count as f64);
+        self.inputq_tw.record(now, self.input_queue.len() as f64);
+
+        let cpu_stats = self.cpus.stats(now);
+        let response_time = if self.response.count() > 0 {
+            ResponseTimeStats {
+                count: self.response.count(),
+                mean: self.response.mean().unwrap_or(0.0),
+                std_dev: self.response.std_dev().unwrap_or(0.0),
+                min: self.response.min().unwrap_or(0.0),
+                max: self.response.max().unwrap_or(0.0),
+                p95: self.response_hist.quantile(0.95).unwrap_or(0.0),
+            }
+        } else {
+            ResponseTimeStats::empty()
+        };
+        let mut per_type: Vec<TxTypeReport> = self
+            .per_type
+            .iter()
+            .map(|(ty, tally)| TxTypeReport {
+                tx_type: *ty,
+                count: tally.count(),
+                mean_response: tally.mean().unwrap_or(0.0),
+            })
+            .collect();
+        per_type.sort_by_key(|t| t.tx_type);
+
+        let devices = self
+            .units
+            .iter_mut()
+            .map(|u| {
+                let dstats = u.disks.stats(now);
+                let cstats = u.controllers.stats(now);
+                DeviceReport {
+                    name: u.device.name().to_string(),
+                    disk_utilization: dstats.utilization,
+                    controller_utilization: cstats.utilization,
+                    avg_disk_wait: dstats.avg_wait,
+                    stats: u.device.stats(),
+                }
+            })
+            .collect();
+
+        let nvem_capacity = self.config.nvem.num_servers.max(1) as f64;
+        SimulationReport {
+            arrival_rate_tps: self.config.arrival_rate_tps,
+            completed: self.completed,
+            aborts: self.aborts,
+            log_group_writes: self.log_group_writes,
+            measured_time_ms: measured,
+            throughput_tps: self.completed as f64 / (measured / 1000.0),
+            response_time,
+            per_type,
+            cpu_utilization: cpu_stats.utilization,
+            nvem_utilization: (self.nvem_busy / (measured * nvem_capacity)).min(1.0),
+            avg_active_transactions: self.active_tw.mean().unwrap_or(0.0),
+            avg_input_queue: self.inputq_tw.mean().unwrap_or(0.0),
+            buffer: self.bufmgr.stats().clone(),
+            locks: self.lockmgr.stats(),
+            devices,
+        }
+    }
+}

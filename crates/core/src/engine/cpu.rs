@@ -1,0 +1,63 @@
+//! CPU burst scheduling.
+//!
+//! All transactions share the CM's CPU servers (an FCFS multi-server
+//! resource).  A burst either starts immediately or queues; when a burst
+//! finishes, the freed CPU is handed to the oldest queued burst and the
+//! finished transaction re-enters the ready queue.
+
+use dbmodel::WorkloadGenerator;
+use simkernel::resource::Acquire;
+use simkernel::time::{instr_time, SimTime};
+
+use super::transaction::{MicroOp, TxState};
+use super::{Ev, Flow, Simulation};
+
+impl<W: WorkloadGenerator> Simulation<W> {
+    pub(super) fn op_cpu_burst(&mut self, slot: usize, ms: SimTime, nvem: bool) -> Flow {
+        let now = self.queue.now();
+        if nvem {
+            self.nvem_busy += self.config.nvem.access_time;
+        }
+        {
+            let tx = self.txs[slot].as_mut().expect("live transaction");
+            tx.pending_burst = ms;
+            tx.pending_burst_nvem = nvem;
+        }
+        match self.cpus.acquire(now, slot as u64) {
+            Acquire::Granted => {
+                self.txs[slot].as_mut().expect("live transaction").state = TxState::RunningCpu;
+                self.queue.schedule_in(ms, Ev::CpuDone(slot));
+            }
+            Acquire::Queued => {
+                self.txs[slot].as_mut().expect("live transaction").state = TxState::WaitingCpu;
+            }
+        }
+        Flow::Blocked
+    }
+
+    pub(super) fn handle_cpu_done(&mut self, slot: usize) {
+        let now = self.queue.now();
+        // Free the CPU and hand it to the next queued burst, if any.
+        if let Some(next) = self.cpus.release(now) {
+            let nslot = next as usize;
+            if let Some(tx) = self.txs[nslot].as_mut() {
+                tx.state = TxState::RunningCpu;
+                let burst = tx.pending_burst;
+                self.queue.schedule_in(burst, Ev::CpuDone(nslot));
+            }
+        }
+        if let Some(tx) = self.txs[slot].as_mut() {
+            tx.state = TxState::Ready;
+            self.ready.push_back(slot);
+        }
+    }
+
+    /// A CPU burst covering the operating-system/DBMS overhead of one I/O.
+    pub(super) fn io_overhead_burst(&mut self) -> MicroOp {
+        let cm = self.config.cm;
+        MicroOp::CpuBurst {
+            ms: instr_time(self.service_rng.exponential(cm.instr_io), cm.mips),
+            nvem: false,
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The per-transaction micro-operation state machine.
+//!
+//! A transaction progresses through BOT processing, its object references
+//! (CPU burst → lock request → buffer fetch with possible I/O) and commit
+//! processing.  Whenever a transaction's micro-operation queue runs dry the
+//! current phase generates the next batch; blocked transactions re-enter the
+//! ready queue when the resource they wait for (CPU, lock, I/O) is granted.
+
+use bufmgr::UpdateStrategy;
+use dbmodel::WorkloadGenerator;
+use lockmgr::LockOutcome;
+use simkernel::time::instr_time;
+
+use super::transaction::{MicroOp, TxPhase, TxState};
+use super::{Flow, Simulation};
+
+impl<W: WorkloadGenerator> Simulation<W> {
+    /// Drains the ready queue, advancing every runnable transaction.
+    pub(super) fn process_ready(&mut self) {
+        while let Some(slot) = self.ready.pop_front() {
+            if self.txs.get(slot).map(|t| t.is_some()).unwrap_or(false) {
+                self.advance(slot);
+            }
+        }
+    }
+
+    fn advance(&mut self, slot: usize) {
+        loop {
+            let op = match self.txs[slot].as_mut().and_then(|t| t.micro.pop_front()) {
+                Some(op) => op,
+                None => {
+                    if !self.advance_phase(slot) {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            match self.execute_op(slot, op) {
+                Flow::Continue => continue,
+                Flow::Blocked | Flow::Finished => return,
+            }
+        }
+    }
+
+    /// Generates the next batch of micro operations from the transaction's
+    /// phase.  Returns false when there is nothing left to do.
+    fn advance_phase(&mut self, slot: usize) -> bool {
+        let cm = self.config.cm;
+        let (phase, num_refs, is_update) = {
+            let tx = self.txs[slot].as_ref().expect("live transaction");
+            (tx.phase, tx.template.len(), tx.template.is_update())
+        };
+        match phase {
+            TxPhase::BeforeAccess { next_ref } if next_ref < num_refs => {
+                let or = instr_time(self.service_rng.exponential(cm.instr_or), cm.mips);
+                let tx = self.txs[slot].as_mut().expect("live transaction");
+                tx.micro.push_back(MicroOp::CpuBurst {
+                    ms: or,
+                    nvem: false,
+                });
+                tx.micro.push_back(MicroOp::Lock { ref_idx: next_ref });
+                tx.phase = TxPhase::BeforeAccess {
+                    next_ref: next_ref + 1,
+                };
+                true
+            }
+            TxPhase::BeforeAccess { .. } => {
+                // All object references done: commit processing.
+                let eot = instr_time(self.service_rng.exponential(cm.instr_eot), cm.mips);
+                let force = self.config.buffer.update_strategy == UpdateStrategy::Force;
+                let tx = self.txs[slot].as_mut().expect("live transaction");
+                tx.micro.push_back(MicroOp::CpuBurst {
+                    ms: eot,
+                    nvem: false,
+                });
+                if is_update && cm.logging {
+                    tx.micro.push_back(MicroOp::LogWrite);
+                }
+                if is_update && force {
+                    tx.micro.push_back(MicroOp::ForcePages);
+                }
+                tx.micro.push_back(MicroOp::Complete);
+                tx.phase = TxPhase::Committing;
+                true
+            }
+            TxPhase::Committing => false,
+        }
+    }
+
+    fn execute_op(&mut self, slot: usize, op: MicroOp) -> Flow {
+        match op {
+            MicroOp::CpuBurst { ms, nvem } => self.op_cpu_burst(slot, ms, nvem),
+            MicroOp::Lock { ref_idx } => self.op_lock(slot, ref_idx),
+            MicroOp::IssueIo {
+                unit,
+                kind,
+                page,
+                wait,
+                notify,
+                log_wb,
+            } => self.op_issue_io(slot, unit, kind, page, wait, notify, log_wb),
+            MicroOp::LogWrite => self.op_log_write(slot),
+            MicroOp::JoinCommitGroup { unit } => self.join_commit_group(slot, unit),
+            MicroOp::ForcePages => self.op_force_pages(slot),
+            MicroOp::Complete => self.op_complete(slot),
+        }
+    }
+
+    fn op_lock(&mut self, slot: usize, ref_idx: usize) -> Flow {
+        let (tx_id, obj_ref) = {
+            let tx = self.txs[slot].as_ref().expect("live transaction");
+            (tx.id, tx.template.refs[ref_idx])
+        };
+        match self.lockmgr.acquire(tx_id, &obj_ref) {
+            LockOutcome::Granted => {
+                self.buffer_fetch(slot, ref_idx);
+                Flow::Continue
+            }
+            LockOutcome::Blocked => {
+                let tx = self.txs[slot].as_mut().expect("live transaction");
+                tx.pending_lock_ref = Some(ref_idx);
+                tx.state = TxState::WaitingLock;
+                Flow::Blocked
+            }
+            LockOutcome::Deadlock => {
+                self.aborts += 1;
+                let woken = self.lockmgr.abort(tx_id);
+                self.wake_lock_waiters(&woken);
+                // Restart the victim with the same reference string.
+                let bot = instr_time(
+                    self.service_rng.exponential(self.config.cm.instr_bot),
+                    self.config.cm.mips,
+                );
+                let tx = self.txs[slot].as_mut().expect("live transaction");
+                tx.restart();
+                tx.micro.push_back(MicroOp::CpuBurst {
+                    ms: bot,
+                    nvem: false,
+                });
+                Flow::Continue
+            }
+        }
+    }
+
+    pub(super) fn wake_lock_waiters(&mut self, ids: &[u64]) {
+        for id in ids {
+            let Some(&slot) = self.id_to_slot.get(id) else {
+                continue;
+            };
+            let ref_idx = {
+                let tx = self.txs[slot].as_mut().expect("live transaction");
+                tx.state = TxState::Ready;
+                tx.pending_lock_ref.take()
+            };
+            if let Some(ref_idx) = ref_idx {
+                self.buffer_fetch(slot, ref_idx);
+            }
+            self.ready.push_back(slot);
+        }
+    }
+
+    /// Performs the buffer-manager lookup for object reference `ref_idx` and
+    /// queues the resulting storage operations.
+    fn buffer_fetch(&mut self, slot: usize, ref_idx: usize) {
+        let obj_ref = self.txs[slot]
+            .as_ref()
+            .expect("live transaction")
+            .template
+            .refs[ref_idx];
+        let outcome =
+            self.bufmgr
+                .reference_page(obj_ref.partition, obj_ref.page, obj_ref.mode.is_write());
+        let ops = self.convert_page_ops(&outcome.ops);
+        self.txs[slot]
+            .as_mut()
+            .expect("live transaction")
+            .push_ops_front(ops);
+    }
+}

@@ -1,0 +1,215 @@
+//! The I/O request lifecycle against the pluggable [`StorageDevice`] models.
+//!
+//! An I/O is issued by asking the target device for an
+//! [`storage::IoDecision`] (which service stages the request must pass
+//! through); the stages are then executed against the device's controller
+//! and disk-server resources so queueing is modelled faithfully.  Completion
+//! wakes the waiting transaction, notifies the buffer manager about
+//! asynchronous writes, releases group-commit batches and spawns background
+//! destages.
+//!
+//! [`StorageDevice`]: storage::StorageDevice
+
+use bufmgr::PageOp;
+use dbmodel::{PageId, WorkloadGenerator};
+use simkernel::resource::Acquire;
+use storage::{IoKind, ServiceStage};
+
+use super::iorequest::{HeldResource, IoRequest};
+use super::transaction::{MicroOp, TxState};
+use super::{Ev, Flow, Simulation};
+
+impl<W: WorkloadGenerator> Simulation<W> {
+    /// Translates buffer-manager page operations into engine micro operations,
+    /// charging the per-I/O CPU overhead and the synchronous NVEM transfer
+    /// costs.
+    pub(super) fn convert_page_ops(&mut self, ops: &[PageOp]) -> Vec<MicroOp> {
+        let cm = self.config.cm;
+        let nvem_cost = self.config.nvem.synchronous_cost(cm.mips);
+        let mut out = Vec::with_capacity(ops.len() * 2);
+        for op in ops {
+            match *op {
+                PageOp::NvemTransfer { .. } => {
+                    out.push(MicroOp::CpuBurst {
+                        ms: nvem_cost,
+                        nvem: true,
+                    });
+                }
+                PageOp::UnitRead { unit, page } => {
+                    out.push(self.io_overhead_burst());
+                    out.push(MicroOp::IssueIo {
+                        unit,
+                        kind: IoKind::Read,
+                        page,
+                        wait: true,
+                        notify: false,
+                        log_wb: false,
+                    });
+                }
+                PageOp::UnitWrite { unit, page } => {
+                    out.push(self.io_overhead_burst());
+                    out.push(MicroOp::IssueIo {
+                        unit,
+                        kind: IoKind::Write,
+                        page,
+                        wait: true,
+                        notify: false,
+                        log_wb: false,
+                    });
+                }
+                PageOp::UnitWriteAsync { unit, page } => {
+                    out.push(self.io_overhead_burst());
+                    out.push(MicroOp::IssueIo {
+                        unit,
+                        kind: IoKind::Write,
+                        page,
+                        wait: false,
+                        notify: true,
+                        log_wb: false,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Asks the device for its service decision, registers the request and
+    /// starts its first stage; returns the request id.  Every I/O — whether
+    /// a transaction waits on it or not — goes through here.
+    fn start_io(
+        &mut self,
+        unit: usize,
+        kind: IoKind,
+        page: PageId,
+        waiter: Option<usize>,
+        notify: bool,
+        log_wb: bool,
+    ) -> u64 {
+        let decision = self.units[unit].device.request(kind, page);
+        let io_id = self.next_io_id;
+        self.next_io_id += 1;
+        let mut io = IoRequest::new(unit, page, decision.foreground, waiter)
+            .with_background(decision.background);
+        if notify {
+            io = io.with_bufmgr_notification();
+        }
+        if log_wb {
+            io = io.with_log_wb();
+        }
+        self.ios.insert(io_id, io);
+        self.advance_io(io_id);
+        io_id
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn op_issue_io(
+        &mut self,
+        slot: usize,
+        unit: usize,
+        kind: IoKind,
+        page: PageId,
+        wait: bool,
+        notify: bool,
+        log_wb: bool,
+    ) -> Flow {
+        self.start_io(unit, kind, page, wait.then_some(slot), notify, log_wb);
+        if wait {
+            self.txs[slot].as_mut().expect("live transaction").state = TxState::WaitingIo;
+            Flow::Blocked
+        } else {
+            Flow::Continue
+        }
+    }
+
+    /// Issues an I/O that is not tied to a single waiting transaction (used
+    /// for group-commit log writes); returns the request id.
+    pub(super) fn issue_detached_io(&mut self, unit: usize, kind: IoKind, page: PageId) -> u64 {
+        self.start_io(unit, kind, page, None, false, false)
+    }
+
+    pub(super) fn advance_io(&mut self, io_id: u64) {
+        let now = self.queue.now();
+        let (unit, next_stage) = {
+            let io = self.ios.get_mut(&io_id).expect("live io request");
+            (io.unit, io.remaining.pop_front())
+        };
+        match next_stage {
+            None => self.complete_io(io_id),
+            Some(ServiceStage::Controller(t)) => {
+                {
+                    let io = self.ios.get_mut(&io_id).expect("live io request");
+                    io.held = Some(HeldResource::Controller);
+                    io.pending_service = t;
+                }
+                if self.units[unit].controllers.acquire(now, io_id) == Acquire::Granted {
+                    self.queue.schedule_in(t, Ev::IoStage(io_id));
+                }
+            }
+            Some(ServiceStage::Disk(t)) => {
+                {
+                    let io = self.ios.get_mut(&io_id).expect("live io request");
+                    io.held = Some(HeldResource::Disk);
+                    io.pending_service = t;
+                }
+                if self.units[unit].disks.acquire(now, io_id) == Acquire::Granted {
+                    self.queue.schedule_in(t, Ev::IoStage(io_id));
+                }
+            }
+            Some(ServiceStage::Transmission(t)) => {
+                self.ios.get_mut(&io_id).expect("live io request").held = None;
+                self.queue.schedule_in(t, Ev::IoStage(io_id));
+            }
+        }
+    }
+
+    pub(super) fn handle_io_stage(&mut self, io_id: u64) {
+        let now = self.queue.now();
+        let held_info = self.ios.get(&io_id).map(|io| (io.held, io.unit));
+        if let Some((Some(held), unit)) = held_info {
+            let granted = match held {
+                HeldResource::Controller => self.units[unit].controllers.release(now),
+                HeldResource::Disk => self.units[unit].disks.release(now),
+            };
+            if let Some(next_io) = granted {
+                let service = self
+                    .ios
+                    .get(&next_io)
+                    .map(|io| io.pending_service)
+                    .unwrap_or(0.0);
+                self.queue.schedule_in(service, Ev::IoStage(next_io));
+            }
+            if let Some(io) = self.ios.get_mut(&io_id) {
+                io.held = None;
+            }
+        }
+        self.advance_io(io_id);
+    }
+
+    fn complete_io(&mut self, io_id: u64) {
+        let io = self.ios.remove(&io_id).expect("live io request");
+        if io.is_destage {
+            self.units[io.unit].device.destage_complete(io.page);
+        }
+        if io.notify_bufmgr {
+            self.bufmgr.async_write_complete(io.page);
+        }
+        if io.log_wb {
+            self.log_wb_pending = self.log_wb_pending.saturating_sub(1);
+        }
+        if !io.background.is_empty() {
+            let bg_id = self.next_io_id;
+            self.next_io_id += 1;
+            let bg = IoRequest::new(io.unit, io.page, io.background, None).into_destage();
+            self.ios.insert(bg_id, bg);
+            self.advance_io(bg_id);
+        }
+        if let Some(slot) = io.waiter {
+            if let Some(tx) = self.txs.get_mut(slot).and_then(Option::as_mut) {
+                tx.state = TxState::Ready;
+                self.ready.push_back(slot);
+            }
+        }
+        // Wake a whole group-commit batch waiting on this log write.
+        self.wake_commit_group(io_id);
+    }
+}

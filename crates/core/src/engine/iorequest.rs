@@ -89,7 +89,7 @@ impl IoRequest {
     }
 
     /// Marks the request as a background destage.
-    pub fn as_destage(mut self) -> Self {
+    pub fn into_destage(mut self) -> Self {
         self.is_destage = true;
         self
     }
@@ -112,7 +112,7 @@ mod tests {
         assert!(io.notify_bufmgr);
         assert!(io.log_wb);
         assert!(!io.is_destage);
-        let destage = IoRequest::new(0, PageId(1), vec![], None).as_destage();
+        let destage = IoRequest::new(0, PageId(1), vec![], None).into_destage();
         assert!(destage.is_destage);
         assert!(destage.waiter.is_none());
     }

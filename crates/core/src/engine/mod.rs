@@ -4,27 +4,48 @@
 //! lock manager, buffer manager) and the external devices together and runs
 //! the open queuing model: Poisson arrivals, MPL admission control,
 //! transaction execution with CPU bursts, lock requests, buffer fetches and
-//! I/O, commit processing with logging and (optionally) FORCE writes.
+//! I/O, commit processing with logging, (optionally) FORCE writes and
+//! (optionally) group commit.
+//!
+//! The engine is split into focused subsystems; this module only defines the
+//! shared state and dispatches events:
+//!
+//! * [`source`] — transaction arrivals and MPL admission control,
+//! * [`exec`] — the per-transaction micro-operation state machine (object
+//!   references, locks, buffer fetches),
+//! * [`cpu`] — CPU burst scheduling on the shared CPU servers,
+//! * [`io_path`] — the I/O request lifecycle against the pluggable
+//!   [`StorageDevice`] models,
+//! * [`commit`] — commit processing: logging, FORCE/NOFORCE, group commit,
+//! * [`collect`] — statistics collection and the final report.
 
+mod collect;
+mod commit;
+mod cpu;
+mod exec;
+mod io_path;
 mod iorequest;
+mod source;
 mod transaction;
+
+#[cfg(test)]
+mod tests;
 
 use std::collections::{HashMap, VecDeque};
 
-use bufmgr::{BufferManager, PageOp, UpdateStrategy};
-use dbmodel::{PageId, TransactionTemplate, WorkloadGenerator};
-use lockmgr::{LockManager, LockOutcome};
-use simkernel::resource::Acquire;
+use bufmgr::BufferManager;
+use dbmodel::{TransactionTemplate, WorkloadGenerator};
+use lockmgr::LockManager;
 use simkernel::stats::{Histogram, Tally, TimeWeighted};
-use simkernel::time::{instr_time, interarrival_ms, SimTime};
+use simkernel::time::{interarrival_ms, SimTime};
 use simkernel::{EventQueue, Resource, SimRng};
-use storage::{DiskUnit, IoKind, ServiceStage};
+use storage::StorageDevice;
 
-use crate::config::{LogAllocation, SimulationConfig};
-use crate::metrics::{DiskUnitReport, ResponseTimeStats, SimulationReport, TxTypeReport};
+use crate::config::SimulationConfig;
+use crate::metrics::SimulationReport;
 
-use iorequest::{HeldResource, IoRequest};
-use transaction::{MicroOp, Transaction, TxPhase, TxState};
+use iorequest::IoRequest;
+use transaction::Transaction;
 
 /// Events of the simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +56,9 @@ enum Ev {
     CpuDone(usize),
     /// The current service stage of the given I/O request finished.
     IoStage(u64),
+    /// Flush the open group-commit batch with the given sequence number if it
+    /// is still open (timeout path).
+    GroupCommitFlush(u64),
     /// End of the warm-up interval: reset all statistics.
     EndWarmup,
     /// End of the measurement interval: stop the simulation.
@@ -52,10 +76,10 @@ enum Flow {
     Finished,
 }
 
-/// Runtime state of one disk unit: the policy model plus the queued resources
-/// for its controllers and disk servers.
+/// Runtime state of one storage device: the pluggable policy model plus the
+/// queued resources for its controllers and disk servers.
 struct UnitRuntime {
-    unit: DiskUnit,
+    device: Box<dyn StorageDevice>,
     controllers: Resource,
     disks: Resource,
 }
@@ -96,6 +120,15 @@ pub struct Simulation<W: WorkloadGenerator> {
     next_log_page: u64,
     log_wb_pending: usize,
 
+    // Group commit: slots waiting in the currently open batch, the log
+    // device the batch will be written to, the batch's sequence number
+    // (stale flush timeouts are ignored), and the slots waiting on each
+    // in-flight group log write.
+    commit_group: Vec<usize>,
+    commit_group_unit: usize,
+    commit_group_seq: u64,
+    group_waiters: HashMap<u64, Vec<usize>>,
+
     // Run control.
     end_time: SimTime,
     warmup_done: bool,
@@ -108,6 +141,7 @@ pub struct Simulation<W: WorkloadGenerator> {
     per_type: HashMap<usize, Tally>,
     completed: u64,
     aborts: u64,
+    log_group_writes: u64,
     nvem_busy: SimTime,
     active_tw: TimeWeighted,
     inputq_tw: TimeWeighted,
@@ -129,13 +163,13 @@ impl<W: WorkloadGenerator> Simulation<W> {
         let workload_rng = seed_rng.derive(3);
 
         let units = config
-            .disk_units
+            .devices
             .iter()
             .enumerate()
-            .map(|(i, p)| UnitRuntime {
-                unit: DiskUnit::new(format!("unit-{i}"), *p),
-                controllers: Resource::new(format!("unit-{i}-controllers"), p.num_controllers.max(1)),
-                disks: Resource::new(format!("unit-{i}-disks"), p.num_disks.max(1)),
+            .map(|(i, spec)| UnitRuntime {
+                device: spec.build(format!("unit-{i}")),
+                controllers: Resource::new(format!("unit-{i}-controllers"), spec.num_controllers()),
+                disks: Resource::new(format!("unit-{i}-disks"), spec.num_disks()),
             })
             .collect();
         let bufmgr = BufferManager::new(config.buffer.clone());
@@ -164,6 +198,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
             next_io_id: 1,
             next_log_page: u64::MAX,
             log_wb_pending: 0,
+            commit_group: Vec::new(),
+            commit_group_unit: 0,
+            commit_group_seq: 0,
+            group_waiters: HashMap::new(),
             end_time,
             warmup_done: false,
             measure_start: config.warmup_ms,
@@ -173,6 +211,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             per_type: HashMap::new(),
             completed: 0,
             aborts: 0,
+            log_group_writes: 0,
             nvem_busy: 0.0,
             active_tw: TimeWeighted::new(),
             inputq_tw: TimeWeighted::new(),
@@ -184,8 +223,11 @@ impl<W: WorkloadGenerator> Simulation<W> {
     pub fn run(mut self) -> SimulationReport {
         self.active_tw.record(0.0, 0.0);
         self.inputq_tw.record(0.0, 0.0);
-        let first = self.arrival_rng.exponential(interarrival_ms(self.config.arrival_rate_tps));
-        self.queue.schedule_at(first.min(self.end_time), Ev::Arrival);
+        let first = self
+            .arrival_rng
+            .exponential(interarrival_ms(self.config.arrival_rate_tps));
+        self.queue
+            .schedule_at(first.min(self.end_time), Ev::Arrival);
         self.queue.schedule_at(self.config.warmup_ms, Ev::EndWarmup);
         self.queue.schedule_at(self.end_time, Ev::EndRun);
 
@@ -196,758 +238,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 Ev::Arrival => self.handle_arrival(),
                 Ev::CpuDone(slot) => self.handle_cpu_done(slot),
                 Ev::IoStage(io_id) => self.handle_io_stage(io_id),
+                Ev::GroupCommitFlush(seq) => self.handle_group_commit_flush(seq),
             }
             self.process_ready();
         }
         self.build_report()
-    }
-
-    // ------------------------------------------------------------------
-    // Arrival and admission
-    // ------------------------------------------------------------------
-
-    fn handle_arrival(&mut self) {
-        let now = self.queue.now();
-        if self.stop_arrivals {
-            return;
-        }
-        // Schedule the next arrival of the Poisson process.
-        let gap = self
-            .arrival_rng
-            .exponential(interarrival_ms(self.config.arrival_rate_tps));
-        if now + gap < self.end_time {
-            self.queue.schedule_in(gap, Ev::Arrival);
-        }
-        // Generate the transaction.
-        match self.workload.next_transaction(&mut self.workload_rng) {
-            Some(template) => {
-                if self.active_count < self.config.cm.mpl {
-                    self.activate(template, now);
-                } else {
-                    self.input_queue.push_back((template, now));
-                    self.inputq_tw.record(now, self.input_queue.len() as f64);
-                }
-            }
-            None => {
-                // Trace exhausted (non-cycling replay): no further arrivals.
-                self.stop_arrivals = true;
-            }
-        }
-    }
-
-    fn activate(&mut self, template: TransactionTemplate, arrival: SimTime) {
-        let now = self.queue.now();
-        let id = self.next_tx_id;
-        self.next_tx_id += 1;
-        let mut tx = Transaction::new(id, template, arrival);
-        let bot = instr_time(
-            self.service_rng.exponential(self.config.cm.instr_bot),
-            self.config.cm.mips,
-        );
-        tx.micro.push_back(MicroOp::CpuBurst { ms: bot, nvem: false });
-        let slot = match self.free_slots.pop() {
-            Some(s) => {
-                self.txs[s] = Some(tx);
-                s
-            }
-            None => {
-                self.txs.push(Some(tx));
-                self.txs.len() - 1
-            }
-        };
-        self.id_to_slot.insert(id, slot);
-        self.active_count += 1;
-        self.active_tw.record(now, self.active_count as f64);
-        self.ready.push_back(slot);
-    }
-
-    // ------------------------------------------------------------------
-    // Transaction state machine
-    // ------------------------------------------------------------------
-
-    fn process_ready(&mut self) {
-        while let Some(slot) = self.ready.pop_front() {
-            if self.txs.get(slot).map(|t| t.is_some()).unwrap_or(false) {
-                self.advance(slot);
-            }
-        }
-    }
-
-    fn advance(&mut self, slot: usize) {
-        loop {
-            let op = match self.txs[slot].as_mut().and_then(|t| t.micro.pop_front()) {
-                Some(op) => op,
-                None => {
-                    if !self.advance_phase(slot) {
-                        return;
-                    }
-                    continue;
-                }
-            };
-            match self.execute_op(slot, op) {
-                Flow::Continue => continue,
-                Flow::Blocked | Flow::Finished => return,
-            }
-        }
-    }
-
-    /// Generates the next batch of micro operations from the transaction's
-    /// phase.  Returns false when there is nothing left to do.
-    fn advance_phase(&mut self, slot: usize) -> bool {
-        let cm = self.config.cm;
-        let (phase, num_refs, is_update) = {
-            let tx = self.txs[slot].as_ref().expect("live transaction");
-            (tx.phase, tx.template.len(), tx.template.is_update())
-        };
-        match phase {
-            TxPhase::BeforeAccess { next_ref } if next_ref < num_refs => {
-                let or = instr_time(self.service_rng.exponential(cm.instr_or), cm.mips);
-                let tx = self.txs[slot].as_mut().expect("live transaction");
-                tx.micro.push_back(MicroOp::CpuBurst { ms: or, nvem: false });
-                tx.micro.push_back(MicroOp::Lock { ref_idx: next_ref });
-                tx.phase = TxPhase::BeforeAccess { next_ref: next_ref + 1 };
-                true
-            }
-            TxPhase::BeforeAccess { .. } => {
-                // All object references done: commit processing.
-                let eot = instr_time(self.service_rng.exponential(cm.instr_eot), cm.mips);
-                let force = self.config.buffer.update_strategy == UpdateStrategy::Force;
-                let tx = self.txs[slot].as_mut().expect("live transaction");
-                tx.micro.push_back(MicroOp::CpuBurst { ms: eot, nvem: false });
-                if is_update && cm.logging {
-                    tx.micro.push_back(MicroOp::LogWrite);
-                }
-                if is_update && force {
-                    tx.micro.push_back(MicroOp::ForcePages);
-                }
-                tx.micro.push_back(MicroOp::Complete);
-                tx.phase = TxPhase::Committing;
-                true
-            }
-            TxPhase::Committing => false,
-        }
-    }
-
-    fn execute_op(&mut self, slot: usize, op: MicroOp) -> Flow {
-        match op {
-            MicroOp::CpuBurst { ms, nvem } => self.op_cpu_burst(slot, ms, nvem),
-            MicroOp::Lock { ref_idx } => self.op_lock(slot, ref_idx),
-            MicroOp::IssueIo {
-                unit,
-                kind,
-                page,
-                wait,
-                notify,
-                log_wb,
-            } => self.op_issue_io(slot, unit, kind, page, wait, notify, log_wb),
-            MicroOp::LogWrite => self.op_log_write(slot),
-            MicroOp::ForcePages => self.op_force_pages(slot),
-            MicroOp::Complete => self.op_complete(slot),
-        }
-    }
-
-    fn op_cpu_burst(&mut self, slot: usize, ms: SimTime, nvem: bool) -> Flow {
-        let now = self.queue.now();
-        if nvem {
-            self.nvem_busy += self.config.nvem.access_time;
-        }
-        {
-            let tx = self.txs[slot].as_mut().expect("live transaction");
-            tx.pending_burst = ms;
-            tx.pending_burst_nvem = nvem;
-        }
-        match self.cpus.acquire(now, slot as u64) {
-            Acquire::Granted => {
-                self.txs[slot].as_mut().expect("live transaction").state = TxState::RunningCpu;
-                self.queue.schedule_in(ms, Ev::CpuDone(slot));
-            }
-            Acquire::Queued => {
-                self.txs[slot].as_mut().expect("live transaction").state = TxState::WaitingCpu;
-            }
-        }
-        Flow::Blocked
-    }
-
-    fn handle_cpu_done(&mut self, slot: usize) {
-        let now = self.queue.now();
-        // Free the CPU and hand it to the next queued burst, if any.
-        if let Some(next) = self.cpus.release(now) {
-            let nslot = next as usize;
-            if let Some(tx) = self.txs[nslot].as_mut() {
-                tx.state = TxState::RunningCpu;
-                let burst = tx.pending_burst;
-                self.queue.schedule_in(burst, Ev::CpuDone(nslot));
-            }
-        }
-        if let Some(tx) = self.txs[slot].as_mut() {
-            tx.state = TxState::Ready;
-            self.ready.push_back(slot);
-        }
-    }
-
-    fn op_lock(&mut self, slot: usize, ref_idx: usize) -> Flow {
-        let (tx_id, obj_ref) = {
-            let tx = self.txs[slot].as_ref().expect("live transaction");
-            (tx.id, tx.template.refs[ref_idx])
-        };
-        match self.lockmgr.acquire(tx_id, &obj_ref) {
-            LockOutcome::Granted => {
-                self.buffer_fetch(slot, ref_idx);
-                Flow::Continue
-            }
-            LockOutcome::Blocked => {
-                let tx = self.txs[slot].as_mut().expect("live transaction");
-                tx.pending_lock_ref = Some(ref_idx);
-                tx.state = TxState::WaitingLock;
-                Flow::Blocked
-            }
-            LockOutcome::Deadlock => {
-                self.aborts += 1;
-                let woken = self.lockmgr.abort(tx_id);
-                self.wake_lock_waiters(&woken);
-                // Restart the victim with the same reference string.
-                let bot = instr_time(
-                    self.service_rng.exponential(self.config.cm.instr_bot),
-                    self.config.cm.mips,
-                );
-                let tx = self.txs[slot].as_mut().expect("live transaction");
-                tx.restart();
-                tx.micro.push_back(MicroOp::CpuBurst { ms: bot, nvem: false });
-                Flow::Continue
-            }
-        }
-    }
-
-    fn wake_lock_waiters(&mut self, ids: &[u64]) {
-        for id in ids {
-            let Some(&slot) = self.id_to_slot.get(id) else {
-                continue;
-            };
-            let ref_idx = {
-                let tx = self.txs[slot].as_mut().expect("live transaction");
-                tx.state = TxState::Ready;
-                tx.pending_lock_ref.take()
-            };
-            if let Some(ref_idx) = ref_idx {
-                self.buffer_fetch(slot, ref_idx);
-            }
-            self.ready.push_back(slot);
-        }
-    }
-
-    /// Performs the buffer-manager lookup for object reference `ref_idx` and
-    /// queues the resulting storage operations.
-    fn buffer_fetch(&mut self, slot: usize, ref_idx: usize) {
-        let obj_ref = self.txs[slot].as_ref().expect("live transaction").template.refs[ref_idx];
-        let outcome =
-            self.bufmgr
-                .reference_page(obj_ref.partition, obj_ref.page, obj_ref.mode.is_write());
-        let ops = self.convert_page_ops(&outcome.ops);
-        self.txs[slot]
-            .as_mut()
-            .expect("live transaction")
-            .push_ops_front(ops);
-    }
-
-    /// Translates buffer-manager page operations into engine micro operations,
-    /// charging the per-I/O CPU overhead and the synchronous NVEM transfer
-    /// costs.
-    fn convert_page_ops(&mut self, ops: &[PageOp]) -> Vec<MicroOp> {
-        let cm = self.config.cm;
-        let nvem_cost = self.config.nvem.synchronous_cost(cm.mips);
-        let mut out = Vec::with_capacity(ops.len() * 2);
-        for op in ops {
-            match *op {
-                PageOp::NvemTransfer { .. } => {
-                    out.push(MicroOp::CpuBurst { ms: nvem_cost, nvem: true });
-                }
-                PageOp::UnitRead { unit, page } => {
-                    out.push(self.io_overhead_burst());
-                    out.push(MicroOp::IssueIo {
-                        unit,
-                        kind: IoKind::Read,
-                        page,
-                        wait: true,
-                        notify: false,
-                        log_wb: false,
-                    });
-                }
-                PageOp::UnitWrite { unit, page } => {
-                    out.push(self.io_overhead_burst());
-                    out.push(MicroOp::IssueIo {
-                        unit,
-                        kind: IoKind::Write,
-                        page,
-                        wait: true,
-                        notify: false,
-                        log_wb: false,
-                    });
-                }
-                PageOp::UnitWriteAsync { unit, page } => {
-                    out.push(self.io_overhead_burst());
-                    out.push(MicroOp::IssueIo {
-                        unit,
-                        kind: IoKind::Write,
-                        page,
-                        wait: false,
-                        notify: true,
-                        log_wb: false,
-                    });
-                }
-            }
-        }
-        out
-    }
-
-    fn io_overhead_burst(&mut self) -> MicroOp {
-        let cm = self.config.cm;
-        MicroOp::CpuBurst {
-            ms: instr_time(self.service_rng.exponential(cm.instr_io), cm.mips),
-            nvem: false,
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn op_issue_io(
-        &mut self,
-        slot: usize,
-        unit: usize,
-        kind: IoKind,
-        page: PageId,
-        wait: bool,
-        notify: bool,
-        log_wb: bool,
-    ) -> Flow {
-        let decision = self.units[unit].unit.request(kind, page);
-        let io_id = self.next_io_id;
-        self.next_io_id += 1;
-        let mut io = IoRequest::new(unit, page, decision.foreground, wait.then_some(slot))
-            .with_background(decision.background);
-        if notify {
-            io = io.with_bufmgr_notification();
-        }
-        if log_wb {
-            io = io.with_log_wb();
-        }
-        self.ios.insert(io_id, io);
-        self.advance_io(io_id);
-        if wait {
-            self.txs[slot].as_mut().expect("live transaction").state = TxState::WaitingIo;
-            Flow::Blocked
-        } else {
-            Flow::Continue
-        }
-    }
-
-    fn op_log_write(&mut self, slot: usize) -> Flow {
-        let cm = self.config.cm;
-        let nvem_cost = self.config.nvem.synchronous_cost(cm.mips);
-        let ops = match self.config.log_allocation {
-            LogAllocation::Nvem => {
-                vec![MicroOp::CpuBurst { ms: nvem_cost, nvem: true }]
-            }
-            LogAllocation::DiskUnit(unit) => {
-                let page = self.next_log_page();
-                vec![
-                    self.io_overhead_burst(),
-                    MicroOp::IssueIo {
-                        unit,
-                        kind: IoKind::Write,
-                        page,
-                        wait: true,
-                        notify: false,
-                        log_wb: false,
-                    },
-                ]
-            }
-            LogAllocation::DiskUnitViaNvemWriteBuffer(unit) => {
-                let page = self.next_log_page();
-                let capacity = self.config.buffer.nvem_write_buffer_pages;
-                if self.log_wb_pending < capacity {
-                    // Absorbed by the NVEM write buffer: the transaction only
-                    // waits for the NVEM transfer; the disk is updated
-                    // asynchronously.
-                    self.log_wb_pending += 1;
-                    vec![
-                        MicroOp::CpuBurst { ms: nvem_cost, nvem: true },
-                        self.io_overhead_burst(),
-                        MicroOp::IssueIo {
-                            unit,
-                            kind: IoKind::Write,
-                            page,
-                            wait: false,
-                            notify: false,
-                            log_wb: true,
-                        },
-                    ]
-                } else {
-                    // Write buffer saturated: synchronous log write.
-                    vec![
-                        self.io_overhead_burst(),
-                        MicroOp::IssueIo {
-                            unit,
-                            kind: IoKind::Write,
-                            page,
-                            wait: true,
-                            notify: false,
-                            log_wb: false,
-                        },
-                    ]
-                }
-            }
-        };
-        self.txs[slot]
-            .as_mut()
-            .expect("live transaction")
-            .push_ops_front(ops);
-        Flow::Continue
-    }
-
-    fn next_log_page(&mut self) -> PageId {
-        // Log pages live in a reserved id range far above any database page.
-        let page = PageId(self.next_log_page);
-        self.next_log_page -= 1;
-        page
-    }
-
-    fn op_force_pages(&mut self, slot: usize) -> Flow {
-        let pages = self.txs[slot].as_ref().expect("live transaction").written_pages();
-        let mut page_ops = Vec::new();
-        for (partition, page) in pages {
-            page_ops.extend(self.bufmgr.force_page(partition, page));
-        }
-        let ops = self.convert_page_ops(&page_ops);
-        self.txs[slot]
-            .as_mut()
-            .expect("live transaction")
-            .push_ops_front(ops);
-        Flow::Continue
-    }
-
-    fn op_complete(&mut self, slot: usize) -> Flow {
-        let now = self.queue.now();
-        let (tx_id, arrival, tx_type) = {
-            let tx = self.txs[slot].as_ref().expect("live transaction");
-            (tx.id, tx.arrival, tx.template.tx_type)
-        };
-        // Phase 2 of commit: release all locks and wake waiters.
-        let woken = self.lockmgr.release_all(tx_id);
-        self.wake_lock_waiters(&woken);
-
-        // Statistics.
-        if self.warmup_done {
-            let resp = now - arrival;
-            self.response.record(resp);
-            self.response_hist.record(resp);
-            self.per_type.entry(tx_type).or_default().record(resp);
-            self.completed += 1;
-        }
-
-        // Free the slot.
-        self.id_to_slot.remove(&tx_id);
-        self.txs[slot] = None;
-        self.free_slots.push(slot);
-        self.active_count -= 1;
-        self.active_tw.record(now, self.active_count as f64);
-
-        // Admit the next waiting transaction, if any.
-        if let Some((template, arrival)) = self.input_queue.pop_front() {
-            self.inputq_tw.record(now, self.input_queue.len() as f64);
-            self.activate(template, arrival);
-        }
-        Flow::Finished
-    }
-
-    // ------------------------------------------------------------------
-    // I/O execution
-    // ------------------------------------------------------------------
-
-    fn advance_io(&mut self, io_id: u64) {
-        let now = self.queue.now();
-        let (unit, next_stage) = {
-            let io = self.ios.get_mut(&io_id).expect("live io request");
-            (io.unit, io.remaining.pop_front())
-        };
-        match next_stage {
-            None => self.complete_io(io_id),
-            Some(ServiceStage::Controller(t)) => {
-                {
-                    let io = self.ios.get_mut(&io_id).expect("live io request");
-                    io.held = Some(HeldResource::Controller);
-                    io.pending_service = t;
-                }
-                if self.units[unit].controllers.acquire(now, io_id) == Acquire::Granted {
-                    self.queue.schedule_in(t, Ev::IoStage(io_id));
-                }
-            }
-            Some(ServiceStage::Disk(t)) => {
-                {
-                    let io = self.ios.get_mut(&io_id).expect("live io request");
-                    io.held = Some(HeldResource::Disk);
-                    io.pending_service = t;
-                }
-                if self.units[unit].disks.acquire(now, io_id) == Acquire::Granted {
-                    self.queue.schedule_in(t, Ev::IoStage(io_id));
-                }
-            }
-            Some(ServiceStage::Transmission(t)) => {
-                self.ios.get_mut(&io_id).expect("live io request").held = None;
-                self.queue.schedule_in(t, Ev::IoStage(io_id));
-            }
-        }
-    }
-
-    fn handle_io_stage(&mut self, io_id: u64) {
-        let now = self.queue.now();
-        let held_info = self.ios.get(&io_id).map(|io| (io.held, io.unit));
-        if let Some((Some(held), unit)) = held_info {
-            let granted = match held {
-                HeldResource::Controller => self.units[unit].controllers.release(now),
-                HeldResource::Disk => self.units[unit].disks.release(now),
-            };
-            if let Some(next_io) = granted {
-                let service = self
-                    .ios
-                    .get(&next_io)
-                    .map(|io| io.pending_service)
-                    .unwrap_or(0.0);
-                self.queue.schedule_in(service, Ev::IoStage(next_io));
-            }
-            if let Some(io) = self.ios.get_mut(&io_id) {
-                io.held = None;
-            }
-        }
-        self.advance_io(io_id);
-    }
-
-    fn complete_io(&mut self, io_id: u64) {
-        let io = self.ios.remove(&io_id).expect("live io request");
-        if io.is_destage {
-            self.units[io.unit].unit.destage_complete(io.page);
-        }
-        if io.notify_bufmgr {
-            self.bufmgr.async_write_complete(io.page);
-        }
-        if io.log_wb {
-            self.log_wb_pending = self.log_wb_pending.saturating_sub(1);
-        }
-        if !io.background.is_empty() {
-            let bg_id = self.next_io_id;
-            self.next_io_id += 1;
-            let bg = IoRequest::new(io.unit, io.page, io.background, None).as_destage();
-            self.ios.insert(bg_id, bg);
-            self.advance_io(bg_id);
-        }
-        if let Some(slot) = io.waiter {
-            if let Some(tx) = self.txs.get_mut(slot).and_then(Option::as_mut) {
-                tx.state = TxState::Ready;
-                self.ready.push_back(slot);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Warm-up and reporting
-    // ------------------------------------------------------------------
-
-    fn end_warmup(&mut self) {
-        let now = self.queue.now();
-        self.warmup_done = true;
-        self.measure_start = now;
-        self.response.reset();
-        self.response_hist.reset();
-        self.per_type.clear();
-        self.completed = 0;
-        self.aborts = 0;
-        self.nvem_busy = 0.0;
-        self.cpus.reset_stats(now);
-        for u in &mut self.units {
-            u.unit.reset_stats();
-            u.controllers.reset_stats(now);
-            u.disks.reset_stats(now);
-        }
-        self.bufmgr.reset_stats();
-        self.lockmgr.reset_stats();
-        self.active_tw = TimeWeighted::new();
-        self.active_tw.record(now, self.active_count as f64);
-        self.inputq_tw = TimeWeighted::new();
-        self.inputq_tw.record(now, self.input_queue.len() as f64);
-    }
-
-    fn build_report(mut self) -> SimulationReport {
-        let now = self.queue.now();
-        let measured = (now - self.measure_start).max(1e-9);
-        self.active_tw.record(now, self.active_count as f64);
-        self.inputq_tw.record(now, self.input_queue.len() as f64);
-
-        let cpu_stats = self.cpus.stats(now);
-        let response_time = if self.response.count() > 0 {
-            ResponseTimeStats {
-                count: self.response.count(),
-                mean: self.response.mean().unwrap_or(0.0),
-                std_dev: self.response.std_dev().unwrap_or(0.0),
-                min: self.response.min().unwrap_or(0.0),
-                max: self.response.max().unwrap_or(0.0),
-                p95: self.response_hist.quantile(0.95).unwrap_or(0.0),
-            }
-        } else {
-            ResponseTimeStats::empty()
-        };
-        let mut per_type: Vec<TxTypeReport> = self
-            .per_type
-            .iter()
-            .map(|(ty, tally)| TxTypeReport {
-                tx_type: *ty,
-                count: tally.count(),
-                mean_response: tally.mean().unwrap_or(0.0),
-            })
-            .collect();
-        per_type.sort_by_key(|t| t.tx_type);
-
-        let disk_units = self
-            .units
-            .iter_mut()
-            .map(|u| {
-                let dstats = u.disks.stats(now);
-                let cstats = u.controllers.stats(now);
-                DiskUnitReport {
-                    name: u.unit.name().to_string(),
-                    disk_utilization: dstats.utilization,
-                    controller_utilization: cstats.utilization,
-                    avg_disk_wait: dstats.avg_wait,
-                    stats: u.unit.stats(),
-                }
-            })
-            .collect();
-
-        let nvem_capacity = self.config.nvem.num_servers.max(1) as f64;
-        SimulationReport {
-            arrival_rate_tps: self.config.arrival_rate_tps,
-            completed: self.completed,
-            aborts: self.aborts,
-            measured_time_ms: measured,
-            throughput_tps: self.completed as f64 / (measured / 1000.0),
-            response_time,
-            per_type,
-            cpu_utilization: cpu_stats.utilization,
-            nvem_utilization: (self.nvem_busy / (measured * nvem_capacity)).min(1.0),
-            avg_active_transactions: self.active_tw.mean().unwrap_or(0.0),
-            avg_input_queue: self.inputq_tw.mean().unwrap_or(0.0),
-            buffer: self.bufmgr.stats().clone(),
-            locks: self.lockmgr.stats(),
-            disk_units,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::presets::{
-        debit_credit_config, debit_credit_workload, DebitCreditStorage,
-    };
-
-    fn quick_config(storage: DebitCreditStorage, tps: f64) -> SimulationConfig {
-        let mut c = debit_credit_config(storage, tps);
-        c.warmup_ms = 300.0;
-        c.measure_ms = 1_500.0;
-        c
-    }
-
-    #[test]
-    fn disk_based_debit_credit_completes_transactions() {
-        let config = quick_config(DebitCreditStorage::Disk, 50.0);
-        let report = Simulation::new(config, debit_credit_workload(100)).run();
-        assert!(report.completed > 20, "completed {}", report.completed);
-        // Disk-based response time: ~2 disk I/Os + log I/O + CPU ≈ 40+ ms.
-        assert!(
-            report.response_time.mean > 20.0,
-            "mean {}",
-            report.response_time.mean
-        );
-        assert!(report.cpu_utilization > 0.0 && report.cpu_utilization < 1.0);
-        assert!(report.throughput_tps > 20.0);
-    }
-
-    #[test]
-    fn nvem_resident_debit_credit_is_cpu_bound_and_fast() {
-        let config = quick_config(DebitCreditStorage::NvemResident, 50.0);
-        let report = Simulation::new(config, debit_credit_workload(100)).run();
-        assert!(report.completed > 20);
-        // NVEM-resident: response time close to the pure CPU path length (5 ms).
-        assert!(
-            report.response_time.mean < 15.0,
-            "mean {}",
-            report.response_time.mean
-        );
-        assert!(report.nvem_utilization > 0.0);
-    }
-
-    #[test]
-    fn write_buffer_halves_disk_based_response_time() {
-        // Use a small main-memory buffer and a higher rate so the buffer
-        // reaches steady state (victim write-backs) within the short run.
-        let configure = |storage| {
-            let mut c = quick_config(storage, 150.0);
-            c.buffer.mm_buffer_pages = 300;
-            c.warmup_ms = 1_000.0;
-            c.measure_ms = 2_500.0;
-            c
-        };
-        let disk = Simulation::new(
-            configure(DebitCreditStorage::Disk),
-            debit_credit_workload(100),
-        )
-        .run();
-        let wb = Simulation::new(
-            configure(DebitCreditStorage::DiskWithNvemWriteBuffer),
-            debit_credit_workload(100),
-        )
-        .run();
-        assert!(
-            disk.buffer.dirty_evictions > 0,
-            "disk-based run should reach steady state with dirty evictions"
-        );
-        assert!(
-            wb.response_time.mean < disk.response_time.mean * 0.75,
-            "write buffer {} vs disk {}",
-            wb.response_time.mean,
-            disk.response_time.mean
-        );
-    }
-
-    #[test]
-    fn deterministic_for_fixed_seed() {
-        let a = Simulation::new(
-            quick_config(DebitCreditStorage::Ssd, 80.0),
-            debit_credit_workload(100),
-        )
-        .run();
-        let b = Simulation::new(
-            quick_config(DebitCreditStorage::Ssd, 80.0),
-            debit_credit_workload(100),
-        )
-        .run();
-        assert_eq!(a.completed, b.completed);
-        assert!((a.response_time.mean - b.response_time.mean).abs() < 1e-9);
-        assert_eq!(a.buffer.references(), b.buffer.references());
-    }
-
-    #[test]
-    fn single_log_disk_saturates_at_high_rates() {
-        // With one 5 ms log disk, ~200 TPS is the maximum log rate; at 300 TPS
-        // the input queue grows and response times explode (Fig. 4.1).
-        let mut config =
-            crate::presets::log_allocation_config(crate::presets::LogVariant::SingleDisk, 300.0);
-        config.warmup_ms = 200.0;
-        config.measure_ms = 2_000.0;
-        let report = Simulation::new(config, debit_credit_workload(100)).run();
-        let log_unit = &report.disk_units[1];
-        assert!(
-            log_unit.disk_utilization > 0.9,
-            "log disk utilization {}",
-            log_unit.disk_utilization
-        );
-        assert!(report.throughput_tps < 260.0);
     }
 }

@@ -1,0 +1,84 @@
+//! The SOURCE: transaction arrivals and MPL admission control.
+//!
+//! Transactions arrive in an open Poisson stream; at most `cm.mpl`
+//! transactions are active at once and excess arrivals wait in the input
+//! queue (admission control).  A slot freed at commit immediately admits the
+//! oldest waiting transaction.
+
+use dbmodel::{TransactionTemplate, WorkloadGenerator};
+use simkernel::time::{instr_time, interarrival_ms, SimTime};
+
+use super::transaction::{MicroOp, Transaction};
+use super::{Ev, Simulation};
+
+impl<W: WorkloadGenerator> Simulation<W> {
+    pub(super) fn handle_arrival(&mut self) {
+        let now = self.queue.now();
+        if self.stop_arrivals {
+            return;
+        }
+        // Schedule the next arrival of the Poisson process.
+        let gap = self
+            .arrival_rng
+            .exponential(interarrival_ms(self.config.arrival_rate_tps));
+        if now + gap < self.end_time {
+            self.queue.schedule_in(gap, Ev::Arrival);
+        }
+        // Generate the transaction.
+        match self.workload.next_transaction(&mut self.workload_rng) {
+            Some(template) => {
+                if self.active_count < self.config.cm.mpl {
+                    self.activate(template, now);
+                } else {
+                    self.input_queue.push_back((template, now));
+                    self.inputq_tw.record(now, self.input_queue.len() as f64);
+                }
+            }
+            None => {
+                // Trace exhausted (non-cycling replay): no further arrivals.
+                self.stop_arrivals = true;
+            }
+        }
+    }
+
+    /// Admits a transaction: assigns a slot, queues its BOT processing and
+    /// marks it ready.
+    pub(super) fn activate(&mut self, template: TransactionTemplate, arrival: SimTime) {
+        let now = self.queue.now();
+        let id = self.next_tx_id;
+        self.next_tx_id += 1;
+        let mut tx = Transaction::new(id, template, arrival);
+        let bot = instr_time(
+            self.service_rng.exponential(self.config.cm.instr_bot),
+            self.config.cm.mips,
+        );
+        tx.micro.push_back(MicroOp::CpuBurst {
+            ms: bot,
+            nvem: false,
+        });
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.txs[s] = Some(tx);
+                s
+            }
+            None => {
+                self.txs.push(Some(tx));
+                self.txs.len() - 1
+            }
+        };
+        self.id_to_slot.insert(id, slot);
+        self.active_count += 1;
+        self.active_tw.record(now, self.active_count as f64);
+        self.ready.push_back(slot);
+    }
+
+    /// Admits the oldest transaction waiting in the input queue, if any
+    /// (called when a commit frees an MPL slot).
+    pub(super) fn admit_next(&mut self) {
+        let now = self.queue.now();
+        if let Some((template, arrival)) = self.input_queue.pop_front() {
+            self.inputq_tw.record(now, self.input_queue.len() as f64);
+            self.activate(template, arrival);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Engine-level tests: end-to-end runs of small configurations.
+
+use storage::NvemDeviceParams;
+
+use crate::config::LogAllocation;
+use crate::presets::{debit_credit_config, debit_credit_workload, DebitCreditStorage, LOG_UNIT};
+
+use super::Simulation;
+use crate::config::SimulationConfig;
+
+fn quick_config(storage: DebitCreditStorage, tps: f64) -> SimulationConfig {
+    let mut c = debit_credit_config(storage, tps);
+    c.warmup_ms = 300.0;
+    c.measure_ms = 1_500.0;
+    c
+}
+
+#[test]
+fn disk_based_debit_credit_completes_transactions() {
+    let config = quick_config(DebitCreditStorage::Disk, 50.0);
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+    assert!(report.completed > 20, "completed {}", report.completed);
+    // Disk-based response time: ~2 disk I/Os + log I/O + CPU ≈ 40+ ms.
+    assert!(
+        report.response_time.mean > 20.0,
+        "mean {}",
+        report.response_time.mean
+    );
+    assert!(report.cpu_utilization > 0.0 && report.cpu_utilization < 1.0);
+    assert!(report.throughput_tps > 20.0);
+}
+
+#[test]
+fn nvem_resident_debit_credit_is_cpu_bound_and_fast() {
+    let config = quick_config(DebitCreditStorage::NvemResident, 50.0);
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+    assert!(report.completed > 20);
+    // NVEM-resident: response time close to the pure CPU path length (5 ms).
+    assert!(
+        report.response_time.mean < 15.0,
+        "mean {}",
+        report.response_time.mean
+    );
+    assert!(report.nvem_utilization > 0.0);
+}
+
+#[test]
+fn write_buffer_halves_disk_based_response_time() {
+    // Use a small main-memory buffer and a higher rate so the buffer
+    // reaches steady state (victim write-backs) within the short run.
+    let configure = |storage| {
+        let mut c = quick_config(storage, 150.0);
+        c.buffer.mm_buffer_pages = 300;
+        c.warmup_ms = 1_000.0;
+        c.measure_ms = 2_500.0;
+        c
+    };
+    let disk = Simulation::new(
+        configure(DebitCreditStorage::Disk),
+        debit_credit_workload(100),
+    )
+    .run();
+    let wb = Simulation::new(
+        configure(DebitCreditStorage::DiskWithNvemWriteBuffer),
+        debit_credit_workload(100),
+    )
+    .run();
+    assert!(
+        disk.buffer.dirty_evictions > 0,
+        "disk-based run should reach steady state with dirty evictions"
+    );
+    assert!(
+        wb.response_time.mean < disk.response_time.mean * 0.75,
+        "write buffer {} vs disk {}",
+        wb.response_time.mean,
+        disk.response_time.mean
+    );
+}
+
+#[test]
+fn deterministic_for_fixed_seed() {
+    let a = Simulation::new(
+        quick_config(DebitCreditStorage::Ssd, 80.0),
+        debit_credit_workload(100),
+    )
+    .run();
+    let b = Simulation::new(
+        quick_config(DebitCreditStorage::Ssd, 80.0),
+        debit_credit_workload(100),
+    )
+    .run();
+    assert_eq!(a.completed, b.completed);
+    assert!((a.response_time.mean - b.response_time.mean).abs() < 1e-9);
+    assert_eq!(a.buffer.references(), b.buffer.references());
+}
+
+#[test]
+fn single_log_disk_saturates_at_high_rates() {
+    // With one 5 ms log disk, ~200 TPS is the maximum log rate; at 300 TPS
+    // the input queue grows and response times explode (Fig. 4.1).
+    let mut config =
+        crate::presets::log_allocation_config(crate::presets::LogVariant::SingleDisk, 300.0);
+    config.warmup_ms = 200.0;
+    config.measure_ms = 2_000.0;
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+    let log_unit = &report.devices[1];
+    assert!(
+        log_unit.disk_utilization > 0.9,
+        "log disk utilization {}",
+        log_unit.disk_utilization
+    );
+    assert!(report.throughput_tps < 260.0);
+}
+
+#[test]
+fn group_commit_lifts_the_single_log_disk_ceiling() {
+    // Same saturated single-log-disk configuration as above, but with group
+    // commit batching up to 8 committers per log page write: the log-disk
+    // bottleneck disappears and throughput approaches the arrival rate.
+    let make = |group: usize| {
+        let mut c =
+            crate::presets::log_allocation_config(crate::presets::LogVariant::SingleDisk, 300.0);
+        c.warmup_ms = 500.0;
+        c.measure_ms = 3_000.0;
+        c.cm.group_commit_size = group;
+        c.cm.group_commit_timeout_ms = 2.0;
+        c
+    };
+    let single = Simulation::new(make(1), debit_credit_workload(100)).run();
+    let grouped = Simulation::new(make(8), debit_credit_workload(100)).run();
+    assert_eq!(single.log_group_writes, 0);
+    assert!(grouped.log_group_writes > 0, "group commit never batched");
+    assert!(
+        grouped.throughput_tps > single.throughput_tps * 1.2,
+        "group {} vs single {}",
+        grouped.throughput_tps,
+        single.throughput_tps
+    );
+    // Fewer log-device writes than completed transactions: batching worked.
+    assert!(
+        grouped.devices[LOG_UNIT].stats.writes < grouped.completed,
+        "log writes {} vs completed {}",
+        grouped.devices[LOG_UNIT].stats.writes,
+        grouped.completed
+    );
+}
+
+#[test]
+fn group_commit_batches_write_buffer_overflow_log_writes() {
+    // With a 1-page NVEM write buffer at 300 TPS the buffer saturates and
+    // log writes overflow to synchronous disk writes; group commit must
+    // batch those overflows too.
+    let mut config = debit_credit_config(DebitCreditStorage::DiskWithNvemWriteBuffer, 300.0);
+    config.warmup_ms = 300.0;
+    config.measure_ms = 2_000.0;
+    config.buffer.nvem_write_buffer_pages = 1;
+    config.cm.group_commit_size = 8;
+    config.cm.group_commit_timeout_ms = 2.0;
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+    assert!(report.completed > 100);
+    assert!(
+        report.log_group_writes > 0,
+        "overflow log writes were not batched"
+    );
+}
+
+#[test]
+fn nvem_log_device_topology_is_pure_config() {
+    // The paper's log variants are disk-based or synchronous NVEM; with the
+    // pluggable device layer an *NVEM server device* in the log slot is just
+    // configuration.  The log write then queues at the NVEM servers instead
+    // of paying a disk access, so the run behaves like the fast log variants.
+    let mut config = crate::presets::nvem_log_device_config(150.0);
+    config.warmup_ms = 300.0;
+    config.measure_ms = 1_500.0;
+    assert_eq!(config.devices[LOG_UNIT], NvemDeviceParams::default().into());
+    assert_eq!(config.log_allocation, LogAllocation::DiskUnit(LOG_UNIT));
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+    assert!(report.completed > 50);
+    // All log writes were absorbed by the NVEM device.
+    assert!(report.devices[LOG_UNIT].stats.writes > 0);
+    assert_eq!(
+        report.devices[LOG_UNIT].stats.writes,
+        report.devices[LOG_UNIT].stats.absorbed_writes
+    );
+    assert_eq!(report.devices[LOG_UNIT].disk_utilization, 0.0);
+    // And the response time stays far below the disk-log configuration.
+    let disk_log = Simulation::new(
+        quick_config(DebitCreditStorage::Disk, 150.0),
+        debit_credit_workload(100),
+    )
+    .run();
+    assert!(report.response_time.mean < disk_log.response_time.mean);
+}

@@ -35,6 +35,9 @@ pub(crate) enum MicroOp {
     Lock { ref_idx: usize },
     /// Write the commit log record (resolved against the log allocation).
     LogWrite,
+    /// Join the open group-commit batch for log device `unit` and block
+    /// until the batch's shared log write completes.
+    JoinCommitGroup { unit: usize },
     /// FORCE strategy: write all pages modified by the transaction.
     ForcePages,
     /// Finish the transaction: release locks, record statistics, free the slot.
@@ -201,14 +204,20 @@ mod tests {
         let mut tx = Transaction::new(1, template(), 0.0);
         tx.micro.push_back(MicroOp::Complete);
         tx.push_ops_front(vec![
-            MicroOp::CpuBurst { ms: 1.0, nvem: false },
+            MicroOp::CpuBurst {
+                ms: 1.0,
+                nvem: false,
+            },
             MicroOp::LogWrite,
         ]);
         let order: Vec<MicroOp> = tx.micro.iter().copied().collect();
         assert_eq!(
             order,
             vec![
-                MicroOp::CpuBurst { ms: 1.0, nvem: false },
+                MicroOp::CpuBurst {
+                    ms: 1.0,
+                    nvem: false
+                },
                 MicroOp::LogWrite,
                 MicroOp::Complete,
             ]

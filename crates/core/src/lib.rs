@@ -42,7 +42,7 @@ pub mod tables;
 
 pub use config::{CmParams, LogAllocation, SimulationConfig};
 pub use engine::Simulation;
-pub use metrics::{DiskUnitReport, ResponseTimeStats, SimulationReport};
+pub use metrics::{DeviceReport, ResponseTimeStats, SimulationReport};
 
 // Re-export the substrate crates so downstream users need only one dependency.
 pub use bufmgr;

@@ -41,14 +41,15 @@ impl ResponseTimeStats {
     }
 }
 
-/// Per-disk-unit report.
+/// Per-storage-device report.
 #[derive(Debug, Clone, PartialEq)]
-pub struct DiskUnitReport {
-    /// Unit name (e.g. "db-disks", "log-disk").
+pub struct DeviceReport {
+    /// Device name (e.g. "db-disks", "log-disk", "nvem-log").
     pub name: String,
-    /// Average utilization of the unit's disk servers.
+    /// Average utilization of the device's disk servers (0 for devices that
+    /// never touch a disk).
     pub disk_utilization: f64,
-    /// Average utilization of the unit's controllers.
+    /// Average utilization of the device's controllers / servers.
     pub controller_utilization: f64,
     /// Average queueing delay at the disk servers per request (ms).
     pub avg_disk_wait: SimTime,
@@ -77,6 +78,9 @@ pub struct SimulationReport {
     /// Transactions aborted (and restarted) due to deadlocks during the
     /// measurement interval.
     pub aborts: u64,
+    /// Group-commit batches flushed during the measurement interval (0 when
+    /// group commit is disabled).
+    pub log_group_writes: u64,
     /// Length of the measurement interval (ms).
     pub measured_time_ms: SimTime,
     /// Achieved throughput (transactions per second).
@@ -98,8 +102,8 @@ pub struct SimulationReport {
     pub buffer: BufferStats,
     /// Lock-manager statistics (conflicts, deadlocks).
     pub locks: LockManagerStats,
-    /// Per-disk-unit reports.
-    pub disk_units: Vec<DiskUnitReport>,
+    /// Per-storage-device reports (one per configured [`storage::DeviceSpec`]).
+    pub devices: Vec<DeviceReport>,
 }
 
 impl SimulationReport {
@@ -113,9 +117,9 @@ impl SimulationReport {
         self.buffer.nvem_hit_ratio()
     }
 
-    /// Read hit ratio of disk unit `unit`.
+    /// Read hit ratio of storage device `unit`.
     pub fn disk_cache_hit_ratio(&self, unit: usize) -> f64 {
-        self.disk_units
+        self.devices
             .get(unit)
             .map(|u| u.stats.read_hit_ratio())
             .unwrap_or(0.0)
@@ -155,6 +159,7 @@ mod tests {
             arrival_rate_tps: 100.0,
             completed: 500,
             aborts: 2,
+            log_group_writes: 0,
             measured_time_ms: 5000.0,
             throughput_tps: 100.0,
             response_time: ResponseTimeStats {
@@ -188,7 +193,7 @@ mod tests {
                 deadlocks: 2,
                 releases: 198,
             },
-            disk_units: vec![DiskUnitReport {
+            devices: vec![DeviceReport {
                 name: "db".into(),
                 disk_utilization: 0.4,
                 controller_utilization: 0.1,

@@ -12,16 +12,16 @@
 //! * Fig. 4.8 — [`contention_config`] with the [`ContentionAllocation`]
 //!   variants and both lock granularities.
 
-use bufmgr::{BufferConfig, PartitionPolicy, SecondLevelMode, UpdateStrategy};
 #[cfg(test)]
 use bufmgr::PageLocation;
+use bufmgr::{BufferConfig, PartitionPolicy, SecondLevelMode, UpdateStrategy};
 use dbmodel::{
     synthetic, DebitCreditConfig, DebitCreditGenerator, SyntheticTraceSpec, SyntheticWorkload,
     TraceGenerator,
 };
 use lockmgr::CcMode;
 use simkernel::SimRng;
-use storage::{DiskUnitKind, DiskUnitParams, NvemParams};
+use storage::{DeviceSpec, DiskUnitKind, DiskUnitParams, NvemParams};
 
 use crate::config::{CmParams, LogAllocation, SimulationConfig};
 
@@ -31,17 +31,21 @@ pub const DB_UNIT: usize = 0;
 pub const LOG_UNIT: usize = 1;
 
 /// Default seed used by the presets (override `config.seed` to vary).
-pub const DEFAULT_SEED: u64 = 216_91;
+pub const DEFAULT_SEED: u64 = 21_691; // TR 216/91
 
-fn db_disk_unit(kind: DiskUnitKind, cache_pages: usize) -> DiskUnitParams {
+fn db_disk_unit(kind: DiskUnitKind, cache_pages: usize) -> DeviceSpec {
     // Enough controllers and disk servers that the database disks never become
     // the bottleneck at the studied transaction rates (§4.3: "a sufficiently
     // high number of disk servers and controllers to avoid bottlenecks").
-    DiskUnitParams::database_disks(kind, 32, 128).with_cache_size(cache_pages.max(1))
+    DiskUnitParams::database_disks(kind, 32, 128)
+        .with_cache_size(cache_pages.max(1))
+        .into()
 }
 
-fn log_disk_unit(kind: DiskUnitKind, disks: usize, cache_pages: usize) -> DiskUnitParams {
-    DiskUnitParams::log_disks(kind, disks.max(1).min(8), disks).with_cache_size(cache_pages.max(1))
+fn log_disk_unit(kind: DiskUnitKind, disks: usize, cache_pages: usize) -> DeviceSpec {
+    DiskUnitParams::log_disks(kind, disks.clamp(1, 8), disks)
+        .with_cache_size(cache_pages.max(1))
+        .into()
 }
 
 fn debit_credit_cc_modes() -> Vec<CcMode> {
@@ -120,7 +124,7 @@ pub fn debit_credit_config(storage: DebitCreditStorage, arrival_rate_tps: f64) -
         update_strategy: UpdateStrategy::NoForce,
         partitions: vec![PartitionPolicy::on_disk_unit(DB_UNIT); num_partitions],
     };
-    let (disk_units, log_allocation) = match storage {
+    let (devices, log_allocation) = match storage {
         DebitCreditStorage::Disk => (
             vec![
                 db_disk_unit(DiskUnitKind::Regular, 1),
@@ -170,7 +174,7 @@ pub fn debit_credit_config(storage: DebitCreditStorage, arrival_rate_tps: f64) -
     SimulationConfig {
         cm: CmParams::default(),
         nvem: NvemParams::default(),
-        disk_units,
+        devices,
         log_allocation,
         buffer,
         cc_modes: debit_credit_cc_modes(),
@@ -222,18 +226,28 @@ pub fn log_allocation_config(variant: LogVariant, arrival_rate_tps: f64) -> Simu
     let mut config = debit_credit_config(DebitCreditStorage::Disk, arrival_rate_tps);
     match variant {
         LogVariant::SingleDisk => {
-            config.disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::Regular, 1, 1);
+            config.devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::Regular, 1, 1);
         }
         LogVariant::SingleDiskNvCache => {
-            config.disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 1, 500);
+            config.devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 1, 500);
         }
         LogVariant::Ssd => {
-            config.disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::Ssd, 1, 1);
+            config.devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::Ssd, 1, 1);
         }
         LogVariant::Nvem => {
             config.log_allocation = LogAllocation::Nvem;
         }
     }
+    config
+}
+
+/// Debit-Credit configuration with the log slot occupied by an **NVEM server
+/// device** ([`storage::DeviceSpec::NvemServer`]): log writes queue at the
+/// NVEM servers instead of paying a disk access.  This topology is not in the
+/// paper — with the pluggable device layer it is pure configuration.
+pub fn nvem_log_device_config(arrival_rate_tps: f64) -> SimulationConfig {
+    let mut config = debit_credit_config(DebitCreditStorage::Disk, arrival_rate_tps);
+    config.devices[LOG_UNIT] = storage::NvemDeviceParams::default().into();
     config
 }
 
@@ -287,22 +301,20 @@ pub fn caching_config(
     match second_level {
         SecondLevel::None => {}
         SecondLevel::VolatileDiskCache(pages) => {
-            config.disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::VolatileCache, pages);
+            config.devices[DB_UNIT] = db_disk_unit(DiskUnitKind::VolatileCache, pages);
         }
         SecondLevel::NonVolatileDiskCache(pages) => {
-            config.disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::NonVolatileCache, pages);
-            config.disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 8, 500);
+            config.devices[DB_UNIT] = db_disk_unit(DiskUnitKind::NonVolatileCache, pages);
+            config.devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 8, 500);
         }
         SecondLevel::NvemCache(pages) => {
-            config.buffer = config
-                .buffer
-                .with_nvem_cache(pages, SecondLevelMode::All);
+            config.buffer = config.buffer.with_nvem_cache(pages, SecondLevelMode::All);
             config.log_allocation = LogAllocation::Nvem;
         }
         SecondLevel::DiskCacheWriteBufferOnly => {
             // A small non-volatile cache acts purely as a write buffer.
-            config.disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::NonVolatileCache, 64);
-            config.disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 8, 64);
+            config.devices[DB_UNIT] = db_disk_unit(DiskUnitKind::NonVolatileCache, 64);
+            config.devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 8, 64);
         }
     }
     config
@@ -372,26 +384,26 @@ pub fn trace_config(
         partitions: vec![PartitionPolicy::on_disk_unit(DB_UNIT); num_partitions],
     };
     let mut log_allocation = LogAllocation::DiskUnit(LOG_UNIT);
-    let mut disk_units = vec![
+    let mut devices = vec![
         db_disk_unit(DiskUnitKind::Regular, 1),
         log_disk_unit(DiskUnitKind::Regular, 4, 1),
     ];
     match storage {
         TraceStorage::MmOnly => {}
         TraceStorage::VolatileDiskCache(pages) => {
-            disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::VolatileCache, pages);
+            devices[DB_UNIT] = db_disk_unit(DiskUnitKind::VolatileCache, pages);
         }
         TraceStorage::NonVolatileDiskCache(pages) => {
-            disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::NonVolatileCache, pages);
-            disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 4, 500);
+            devices[DB_UNIT] = db_disk_unit(DiskUnitKind::NonVolatileCache, pages);
+            devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::NonVolatileCache, 4, 500);
         }
         TraceStorage::NvemCache(pages) => {
             buffer = buffer.with_nvem_cache(pages, SecondLevelMode::All);
             log_allocation = LogAllocation::Nvem;
         }
         TraceStorage::Ssd => {
-            disk_units[DB_UNIT] = db_disk_unit(DiskUnitKind::Ssd, 1);
-            disk_units[LOG_UNIT] = log_disk_unit(DiskUnitKind::Ssd, 4, 1);
+            devices[DB_UNIT] = db_disk_unit(DiskUnitKind::Ssd, 1);
+            devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::Ssd, 4, 1);
         }
         TraceStorage::NvemResident => {
             buffer.partitions = vec![PartitionPolicy::nvem_resident(); num_partitions];
@@ -406,7 +418,7 @@ pub fn trace_config(
             ..CmParams::default()
         },
         nvem: NvemParams::default(),
-        disk_units,
+        devices,
         log_allocation,
         buffer,
         cc_modes,
@@ -484,7 +496,7 @@ pub fn contention_config(
     SimulationConfig {
         cm: CmParams::default(),
         nvem: NvemParams::default(),
-        disk_units: vec![
+        devices: vec![
             db_disk_unit(DiskUnitKind::Regular, 1),
             log_disk_unit(DiskUnitKind::Regular, 8, 1),
         ],
@@ -598,10 +610,7 @@ mod tests {
         assert_eq!(w.database().num_partitions(), 2);
         let c = contention_config(ContentionAllocation::Mixed, CcMode::Object, 50.0);
         assert_eq!(c.buffer.partitions.len(), 2);
-        assert_eq!(
-            c.buffer.partitions[0].location,
-            PageLocation::NvemResident
-        );
+        assert_eq!(c.buffer.partitions[0].location, PageLocation::NvemResident);
         assert_eq!(
             c.buffer.partitions[1].location,
             PageLocation::DiskUnit(DB_UNIT)
@@ -611,11 +620,14 @@ mod tests {
     #[test]
     fn log_variants_differ_in_log_unit_configuration() {
         let single = log_allocation_config(LogVariant::SingleDisk, 100.0);
-        assert_eq!(single.disk_units[LOG_UNIT].num_disks, 1);
+        assert_eq!(single.devices[LOG_UNIT].disk().num_disks, 1);
         let cached = log_allocation_config(LogVariant::SingleDiskNvCache, 100.0);
-        assert_eq!(cached.disk_units[LOG_UNIT].kind, DiskUnitKind::NonVolatileCache);
+        assert_eq!(
+            cached.devices[LOG_UNIT].disk().kind,
+            DiskUnitKind::NonVolatileCache
+        );
         let ssd = log_allocation_config(LogVariant::Ssd, 100.0);
-        assert_eq!(ssd.disk_units[LOG_UNIT].kind, DiskUnitKind::Ssd);
+        assert_eq!(ssd.devices[LOG_UNIT].disk().kind, DiskUnitKind::Ssd);
         let nvem = log_allocation_config(LogVariant::Nvem, 100.0);
         assert_eq!(nvem.log_allocation, LogAllocation::Nvem);
     }

@@ -222,7 +222,11 @@ impl Partition {
         match (&self.sub_dist, self.sub_bounds.is_empty()) {
             (Some(dist), false) => {
                 let sub = dist.sample(rng);
-                let lo = if sub == 0 { 0 } else { self.sub_bounds[sub - 1] };
+                let lo = if sub == 0 {
+                    0
+                } else {
+                    self.sub_bounds[sub - 1]
+                };
                 let hi = self.sub_bounds[sub];
                 if hi <= lo {
                     lo.min(self.spec.num_objects - 1)
@@ -396,10 +400,7 @@ mod tests {
         // Empirical check.
         let mut rng = SimRng::seed_from(123);
         let n = 100_000;
-        let hot = (0..n)
-            .filter(|_| p.sample_object(&mut rng) < 2000)
-            .count() as f64
-            / n as f64;
+        let hot = (0..n).filter(|_| p.sample_object(&mut rng) < 2000).count() as f64 / n as f64;
         assert!((hot - 0.8).abs() < 0.01, "hot share {hot}");
     }
 
@@ -451,9 +452,7 @@ mod tests {
 
     #[test]
     fn sequential_append_wraps() {
-        let mut db = Database::from_specs(vec![
-            PartitionSpec::uniform("H", 4, 2).sequential(),
-        ]);
+        let mut db = Database::from_specs(vec![PartitionSpec::uniform("H", 4, 2).sequential()]);
         let p = db.partition_mut(0);
         assert!(p.is_sequential());
         let seq: Vec<u64> = (0..6).map(|_| p.next_append()).collect();

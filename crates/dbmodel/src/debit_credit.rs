@@ -128,11 +128,8 @@ impl DebitCreditGenerator {
             ));
             (id, id)
         } else {
-            let b = database.add_partition(PartitionSpec::uniform(
-                "BRANCH",
-                config.num_branches,
-                1,
-            ));
+            let b =
+                database.add_partition(PartitionSpec::uniform("BRANCH", config.num_branches, 1));
             let t = database.add_partition(PartitionSpec::uniform(
                 "TELLER",
                 config.num_tellers,
@@ -350,11 +347,11 @@ mod tests {
         for _ in 0..n {
             let t = g.next_transaction(&mut rng).unwrap();
             // Recover branch and account indices from object ids.
-            let branch_obj = t.refs[3].object.0
-                - g.database().partition(g.partitions().branch).object(0).0;
+            let branch_obj =
+                t.refs[3].object.0 - g.database().partition(g.partitions().branch).object(0).0;
             let branch = branch_obj / per_branch_objs;
-            let account_obj = t.refs[0].object.0
-                - g.database().partition(g.partitions().account).object(0).0;
+            let account_obj =
+                t.refs[0].object.0 - g.database().partition(g.partitions().account).object(0).0;
             if account_obj / accounts_per_branch == branch {
                 same += 1;
             }

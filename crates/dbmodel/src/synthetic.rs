@@ -12,9 +12,7 @@ use simkernel::SimRng;
 
 use crate::database::Database;
 use crate::reference::ReferenceMatrix;
-use crate::types::{
-    AccessMode, ObjectRef, TransactionTemplate, TxTypeId, WorkloadGenerator,
-};
+use crate::types::{AccessMode, ObjectRef, TransactionTemplate, TxTypeId, WorkloadGenerator};
 
 /// Per-transaction-type parameters of the synthetic model (Table 3.1).
 #[derive(Debug, Clone)]
@@ -262,7 +260,9 @@ mod tests {
     fn variable_size_type_varies_and_is_update() {
         let mut w = simple_workload();
         let mut rng = SimRng::seed_from(2);
-        let sizes: Vec<usize> = (0..200).map(|_| w.generate_of_type(1, &mut rng).len()).collect();
+        let sizes: Vec<usize> = (0..200)
+            .map(|_| w.generate_of_type(1, &mut rng).len())
+            .collect();
         let distinct: std::collections::HashSet<_> = sizes.iter().collect();
         assert!(distinct.len() > 5, "sizes should vary, got {distinct:?}");
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;

@@ -30,11 +30,11 @@ use simkernel::dist::Zipf;
 use simkernel::SimRng;
 
 use crate::database::{Database, PartitionSpec};
+#[cfg(test)]
+use crate::types::PageId;
 use crate::types::{
     AccessMode, ObjectId, ObjectRef, TransactionTemplate, TxTypeId, WorkloadGenerator,
 };
-#[cfg(test)]
-use crate::types::PageId;
 
 /// One transaction recorded in a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,7 +103,11 @@ impl Trace {
 
     /// Size of the largest transaction (in references).
     pub fn max_transaction_size(&self) -> usize {
-        self.transactions.iter().map(|t| t.refs.len()).max().unwrap_or(0)
+        self.transactions
+            .iter()
+            .map(|t| t.refs.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average number of references per transaction.
@@ -234,7 +238,11 @@ pub struct TraceParseError {
 
 impl std::fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -330,7 +338,11 @@ impl SyntheticTraceSpec {
             let referenced = referenced_per_file[i];
             zipfs.push(Zipf::new(referenced, self.locality_theta));
             let max_offset = total.saturating_sub(referenced);
-            let offset = if max_offset == 0 { 0 } else { rng.below(max_offset + 1) };
+            let offset = if max_offset == 0 {
+                0
+            } else {
+                rng.below(max_offset + 1)
+            };
             subset_offsets.push(offset);
         }
 
@@ -365,7 +377,8 @@ impl SyntheticTraceSpec {
             } else {
                 rng.exponential(type_mean_size[tx_type]).round().max(1.0) as usize
             };
-            let is_update_tx = n != self.num_transactions / 2 && rng.chance(self.update_tx_fraction);
+            let is_update_tx =
+                n != self.num_transactions / 2 && rng.chance(self.update_tx_fraction);
             // Per-reference write probability, scaled so the global write
             // fraction comes out near `write_ref_fraction` even though only
             // `update_tx_fraction` of the transactions may write at all.

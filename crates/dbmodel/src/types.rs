@@ -134,12 +134,18 @@ mod tests {
     fn update_detection() {
         let read_only = TransactionTemplate {
             tx_type: 0,
-            refs: vec![make_ref(1, 1, AccessMode::Read), make_ref(2, 2, AccessMode::Read)],
+            refs: vec![
+                make_ref(1, 1, AccessMode::Read),
+                make_ref(2, 2, AccessMode::Read),
+            ],
         };
         assert!(!read_only.is_update());
         let update = TransactionTemplate {
             tx_type: 0,
-            refs: vec![make_ref(1, 1, AccessMode::Read), make_ref(2, 2, AccessMode::Write)],
+            refs: vec![
+                make_ref(1, 1, AccessMode::Read),
+                make_ref(2, 2, AccessMode::Write),
+            ],
         };
         assert!(update.is_update());
     }

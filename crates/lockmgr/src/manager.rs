@@ -225,7 +225,11 @@ mod tests {
             partition,
             page: PageId(page),
             object: ObjectId(object),
-            mode: if write { AccessMode::Write } else { AccessMode::Read },
+            mode: if write {
+                AccessMode::Write
+            } else {
+                AccessMode::Read
+            },
         }
     }
 
@@ -246,9 +250,15 @@ mod tests {
     #[test]
     fn page_level_conflicts_on_same_page_different_objects() {
         let mut m = page_level_mgr();
-        assert_eq!(m.acquire(1, &obj_ref(0, 10, 100, true)), LockOutcome::Granted);
+        assert_eq!(
+            m.acquire(1, &obj_ref(0, 10, 100, true)),
+            LockOutcome::Granted
+        );
         // Different object, same page → conflict under page-level locking.
-        assert_eq!(m.acquire(2, &obj_ref(0, 10, 101, true)), LockOutcome::Blocked);
+        assert_eq!(
+            m.acquire(2, &obj_ref(0, 10, 101, true)),
+            LockOutcome::Blocked
+        );
         assert!(m.is_blocked(2));
         assert_eq!(m.stats().conflicts, 1);
     }
@@ -256,9 +266,18 @@ mod tests {
     #[test]
     fn object_level_allows_same_page_different_objects() {
         let mut m = page_level_mgr();
-        assert_eq!(m.acquire(1, &obj_ref(1, 10, 100, true)), LockOutcome::Granted);
-        assert_eq!(m.acquire(2, &obj_ref(1, 10, 101, true)), LockOutcome::Granted);
-        assert_eq!(m.acquire(3, &obj_ref(1, 10, 100, true)), LockOutcome::Blocked);
+        assert_eq!(
+            m.acquire(1, &obj_ref(1, 10, 100, true)),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            m.acquire(2, &obj_ref(1, 10, 101, true)),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            m.acquire(3, &obj_ref(1, 10, 100, true)),
+            LockOutcome::Blocked
+        );
     }
 
     #[test]

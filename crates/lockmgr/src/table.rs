@@ -264,8 +264,14 @@ mod tests {
     #[test]
     fn shared_locks_are_compatible() {
         let mut t = LockTable::new();
-        assert_eq!(t.request(page(1), 1, LockMode::Shared), TableOutcome::Granted);
-        assert_eq!(t.request(page(1), 2, LockMode::Shared), TableOutcome::Granted);
+        assert_eq!(
+            t.request(page(1), 1, LockMode::Shared),
+            TableOutcome::Granted
+        );
+        assert_eq!(
+            t.request(page(1), 2, LockMode::Shared),
+            TableOutcome::Granted
+        );
         assert_eq!(t.entry(page(1)).unwrap().holders().len(), 2);
     }
 
@@ -277,14 +283,20 @@ mod tests {
             t.request(page(1), 2, LockMode::Exclusive),
             TableOutcome::Blocked
         );
-        assert_eq!(t.conflicting_holders(page(1), 2, LockMode::Exclusive), vec![1]);
+        assert_eq!(
+            t.conflicting_holders(page(1), 2, LockMode::Exclusive),
+            vec![1]
+        );
     }
 
     #[test]
     fn rerequest_of_held_lock_is_granted() {
         let mut t = LockTable::new();
         t.request(page(1), 1, LockMode::Exclusive);
-        assert_eq!(t.request(page(1), 1, LockMode::Shared), TableOutcome::Granted);
+        assert_eq!(
+            t.request(page(1), 1, LockMode::Shared),
+            TableOutcome::Granted
+        );
         assert_eq!(
             t.request(page(1), 1, LockMode::Exclusive),
             TableOutcome::Granted
@@ -337,8 +349,11 @@ mod tests {
         let mut t = LockTable::new();
         t.request(page(1), 1, LockMode::Shared);
         t.request(page(1), 2, LockMode::Exclusive); // queued
-        // A new shared request must not overtake the queued exclusive one.
-        assert_eq!(t.request(page(1), 3, LockMode::Shared), TableOutcome::Blocked);
+                                                    // A new shared request must not overtake the queued exclusive one.
+        assert_eq!(
+            t.request(page(1), 3, LockMode::Shared),
+            TableOutcome::Blocked
+        );
     }
 
     #[test]

@@ -207,7 +207,7 @@ mod tests {
         let mut r = Resource::new("cpu", 1);
         r.acquire(0.0, 1);
         assert_eq!(r.release(5.0), None); // busy 0..5
-        // idle 5..10
+                                          // idle 5..10
         let s = r.stats(10.0);
         assert!((s.utilization - 0.5).abs() < 1e-9, "util {}", s.utilization);
         assert_eq!(s.grants, 1);

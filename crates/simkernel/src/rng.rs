@@ -4,26 +4,46 @@
 //! record selection, ...) draws from a [`SimRng`] seeded from the experiment
 //! configuration, so a simulation run is exactly reproducible.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// The simulation PRNG.
 ///
-/// A thin wrapper around a small, fast, seedable generator.  Separate streams
-/// (workload generation vs. service times) can be derived with
-/// [`SimRng::derive`] so that changing one part of a model does not perturb
-/// another part's random sequence.
+/// A self-contained xoshiro256++ generator (the workspace builds without any
+/// external crates, so no `rand` dependency).  Separate streams (workload
+/// generation vs. service times) can be derived with [`SimRng::derive`] so
+/// that changing one part of a model does not perturb another part's random
+/// sequence.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
+    ///
+    /// The four 64-bit state words are filled with consecutive splitmix64
+    /// outputs, the standard seeding recipe for the xoshiro family.
     pub fn seed_from(seed: u64) -> Self {
-        Self {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let mut next_word = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            mix64_seeded(sm)
+        };
+        let state = [next_word(), next_word(), next_word(), next_word()];
+        Self { state }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent stream identified by `stream`.
@@ -31,7 +51,7 @@ impl SimRng {
     /// The derivation uses a splitmix-style mix of the parent seed material so
     /// that streams with different identifiers are decorrelated.
     pub fn derive(&mut self, stream: u64) -> Self {
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         Self::seed_from(mix64(base ^ mix64(stream)))
     }
 
@@ -39,7 +59,8 @@ impl SimRng {
     /// (convenient for `ln`).
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        let u: f64 = self.inner.gen::<f64>();
+        // 53 random mantissa bits, the usual u64 → f64 conversion.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         if u <= 0.0 {
             f64::MIN_POSITIVE
         } else {
@@ -55,17 +76,29 @@ impl SimRng {
     }
 
     /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` (an empty range), in every build profile.
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
-        debug_assert!(n > 0);
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "empty range in SimRng::below");
+        // Lemire's multiply-shift map of a 64-bit draw onto [0, n).  The
+        // modulo bias is at most n / 2^64, far below anything the simulation
+        // statistics could resolve, and the mapping stays deterministic.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics when `hi < lo` (an empty range), in every build profile.
     #[inline]
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        debug_assert!(hi >= lo);
-        self.inner.gen_range(lo..=hi)
+        assert!(hi >= lo, "empty range in SimRng::range_u64");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
     }
 
     /// Bernoulli trial with probability `p` of returning `true`.
@@ -113,8 +146,15 @@ impl SimRng {
 }
 
 /// Final mixing function of splitmix64.
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+///
+/// Public so seed-derivation code elsewhere (e.g. per-point sweep seeds)
+/// shares this one canonical mixer.
+pub fn mix64(z: u64) -> u64 {
+    mix64_seeded(z.wrapping_add(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Splitmix64 output function (applied to an already-advanced state word).
+fn mix64_seeded(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -137,7 +177,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::seed_from(1);
         let mut b = SimRng::seed_from(2);
-        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        let same = (0..64)
+            .filter(|_| a.below(1 << 30) == b.below(1 << 30))
+            .count();
         assert!(same < 4);
     }
 
@@ -191,7 +233,9 @@ mod tests {
         let mut parent = SimRng::seed_from(1234);
         let mut s1 = parent.derive(1);
         let mut s2 = parent.derive(2);
-        let same = (0..64).filter(|_| s1.below(1 << 30) == s2.below(1 << 30)).count();
+        let same = (0..64)
+            .filter(|_| s1.below(1 << 30) == s2.below(1 << 30))
+            .count();
         assert!(same < 4);
     }
 

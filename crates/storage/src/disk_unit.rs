@@ -299,6 +299,35 @@ impl DiskUnit {
     }
 }
 
+impl crate::device::StorageDevice for DiskUnit {
+    fn name(&self) -> &str {
+        DiskUnit::name(self)
+    }
+
+    fn request(&mut self, kind: IoKind, page: PageId) -> IoDecision {
+        DiskUnit::request(self, kind, page)
+    }
+
+    fn destage_complete(&mut self, page: PageId) {
+        DiskUnit::destage_complete(self, page)
+    }
+
+    fn stats(&self) -> DiskUnitStats {
+        DiskUnit::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        DiskUnit::reset_stats(self)
+    }
+
+    fn uncached_latency(&self) -> simkernel::time::SimTime {
+        match self.params.kind {
+            DiskUnitKind::Ssd => self.params.cache_hit_latency(),
+            _ => self.params.disk_access_latency(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,8 +457,8 @@ mod tests {
         let mut u = unit(DiskUnitKind::NonVolatileCache, 2);
         u.request(IoKind::Write, PageId(1)); // dirty
         u.request(IoKind::Read, PageId(2)); // clean
-        // Cache full {1 dirty, 2 clean}; a read miss should evict page 2 (the
-        // clean one) even though page 1 is least recently used.
+                                            // Cache full {1 dirty, 2 clean}; a read miss should evict page 2 (the
+                                            // clean one) even though page 1 is least recently used.
         u.request(IoKind::Read, PageId(3));
         assert!(u.cache_contains(PageId(1)));
         assert!(!u.cache_contains(PageId(2)));

@@ -32,7 +32,9 @@ impl ServiceStage {
     /// The stage's service time, ignoring queueing.
     pub fn service_time(&self) -> SimTime {
         match *self {
-            ServiceStage::Controller(t) | ServiceStage::Disk(t) | ServiceStage::Transmission(t) => t,
+            ServiceStage::Controller(t) | ServiceStage::Disk(t) | ServiceStage::Transmission(t) => {
+                t
+            }
         }
     }
 }
@@ -96,7 +98,10 @@ mod tests {
     #[test]
     fn cache_hit_decision_has_no_disk_stage() {
         let d = IoDecision {
-            foreground: vec![ServiceStage::Controller(1.0), ServiceStage::Transmission(0.4)],
+            foreground: vec![
+                ServiceStage::Controller(1.0),
+                ServiceStage::Transmission(0.4),
+            ],
             background: vec![],
             cache_hit: true,
             absorbed_write: false,

@@ -22,14 +22,16 @@
 //! the `tpsim` crate executes the stages against `simkernel` resources so that
 //! queueing at controllers and disk arms is modelled faithfully.
 
+pub mod device;
 pub mod disk_unit;
 pub mod io;
 pub mod lru;
 pub mod nvem;
 pub mod params;
 
+pub use device::{DeviceSpec, StorageDevice};
 pub use disk_unit::{DiskUnit, DiskUnitStats};
 pub use io::{IoDecision, IoKind, ServiceStage};
 pub use lru::LruCache;
-pub use nvem::NvemParams;
+pub use nvem::{NvemDevice, NvemDeviceParams, NvemParams};
 pub use params::{DeviceTimings, DiskUnitKind, DiskUnitParams};

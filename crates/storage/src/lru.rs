@@ -133,7 +133,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Returns the value for `key` without affecting recency.
     pub fn peek(&self, key: &K) -> Option<&V> {
-        self.map.get(key).and_then(|&idx| self.nodes[idx].value.as_ref())
+        self.map
+            .get(key)
+            .and_then(|&idx| self.nodes[idx].value.as_ref())
     }
 
     /// Mutable access without affecting recency.
@@ -222,7 +224,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             } else {
                 let node = &self.nodes[idx];
                 idx = node.prev;
-                Some((&node.key, node.value.as_ref().expect("live node has a value")))
+                Some((
+                    &node.key,
+                    node.value.as_ref().expect("live node has a value"),
+                ))
             }
         })
     }
@@ -365,6 +370,62 @@ mod tests {
         let mut c = LruCache::new(1);
         assert!(c.insert(1, 'x').is_none());
         assert_eq!(c.insert(2, 'y'), Some((1, 'x')));
+        assert_eq!(c.lru_key(), Some(&2));
+    }
+
+    #[test]
+    fn capacity_one_eviction_order_under_churn() {
+        // At capacity 1 the sole resident entry is simultaneously MRU and
+        // LRU: every insert of a new key must evict exactly the previous
+        // key, in insertion order, and touch/get must not change that.
+        let mut c = LruCache::new(1);
+        c.insert(10, "a");
+        c.get(&10);
+        c.touch(&10);
+        assert!(c.is_full());
+        for (next, prev) in [(11u64, 10u64), (12, 11), (13, 12)] {
+            let evicted = c.insert(next, "x");
+            assert_eq!(evicted.map(|(k, _)| k), Some(prev));
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.lru_key(), Some(&next));
+            assert!(c.contains(&next) && !c.contains(&prev));
+        }
+        // Re-inserting the resident key is an update, not an eviction.
+        assert!(c.insert(13, "y").is_none());
+        assert_eq!(c.peek(&13), Some(&"y"));
+    }
+
+    #[test]
+    fn capacity_one_predicate_scan() {
+        let mut c = LruCache::new(1);
+        assert_eq!(c.lru_matching(|_: &bool| true), None);
+        c.insert(7, true);
+        assert_eq!(c.lru_matching(|dirty| *dirty), Some(7));
+        assert_eq!(c.lru_matching(|dirty| !*dirty), None);
+    }
+
+    #[test]
+    fn lru_matching_models_find_from_lru_for_unmodified_pages() {
+        // The non-volatile disk cache's "least recently used unmodified page"
+        // lookup: values count pending destages, 0 = clean (replaceable).
+        let mut c: LruCache<u64, u32> = LruCache::new(4);
+        c.insert(1, 0); // clean, oldest
+        c.insert(2, 2); // dirty
+        c.insert(3, 0); // clean
+        c.insert(4, 1); // dirty
+        assert_eq!(c.lru_matching(|pending| *pending == 0), Some(1));
+        // Touching page 1 makes page 3 the LRU clean frame.
+        c.touch(&1);
+        assert_eq!(c.lru_matching(|pending| *pending == 0), Some(3));
+        // Dirty pages become candidates once their destages complete.
+        *c.peek_mut(&2).unwrap() = 0;
+        assert_eq!(c.lru_matching(|pending| *pending == 0), Some(2));
+        // With every frame dirty the scan finds nothing.
+        for k in [1, 2, 3] {
+            *c.peek_mut(&k).unwrap() = 1;
+        }
+        assert_eq!(c.lru_matching(|pending| *pending == 0), None);
+        // The scan must not disturb recency: page 2 is still the LRU frame.
         assert_eq!(c.lru_key(), Some(&2));
     }
 

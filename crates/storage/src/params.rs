@@ -24,7 +24,10 @@ pub enum DiskUnitKind {
 impl DiskUnitKind {
     /// True if the unit has a controller cache (volatile or non-volatile).
     pub fn has_cache(self) -> bool {
-        matches!(self, DiskUnitKind::VolatileCache | DiskUnitKind::NonVolatileCache)
+        matches!(
+            self,
+            DiskUnitKind::VolatileCache | DiskUnitKind::NonVolatileCache
+        )
     }
 
     /// True if writes can be absorbed without a synchronous disk access.
@@ -182,8 +185,8 @@ mod tests {
 
     #[test]
     fn builder_helpers() {
-        let p = DiskUnitParams::database_disks(DiskUnitKind::VolatileCache, 2, 8)
-            .with_cache_size(500);
+        let p =
+            DiskUnitParams::database_disks(DiskUnitKind::VolatileCache, 2, 8).with_cache_size(500);
         assert_eq!(p.cache_size, 500);
         assert_eq!(p.num_controllers, 2);
         assert_eq!(p.num_disks, 8);

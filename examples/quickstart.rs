@@ -24,7 +24,10 @@ fn main() {
 
         println!("== {} ==", storage.label());
         println!("  completed transactions : {}", report.completed);
-        println!("  throughput             : {:.1} TPS", report.throughput_tps);
+        println!(
+            "  throughput             : {:.1} TPS",
+            report.throughput_tps
+        );
         println!(
             "  mean response time     : {:.2} ms (p95 {:.2} ms)",
             report.response_time.mean, report.response_time.p95
@@ -37,7 +40,7 @@ fn main() {
             "  main-memory hit ratio  : {:.1} %",
             report.mm_hit_ratio() * 100.0
         );
-        for unit in &report.disk_units {
+        for unit in &report.devices {
             println!(
                 "  {:<22} : {:.1} % disk busy, {:.2} ms avg queue wait",
                 unit.name,

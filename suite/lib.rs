@@ -1,0 +1,13 @@
+//! Umbrella package for the TPSIM workspace.
+//!
+//! This crate exists so the top-level `tests/` (cross-crate integration
+//! tests) and `examples/` (runnable studies) belong to a cargo package; it
+//! simply re-exports the workspace crates.
+
+pub use bufmgr;
+pub use dbmodel;
+pub use lockmgr;
+pub use simkernel;
+pub use storage;
+pub use tpsim;
+pub use tpsim_bench;

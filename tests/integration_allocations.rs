@@ -32,9 +32,7 @@ fn force_is_much_slower_than_noforce_on_disk() {
         noforce.response_time.mean
     );
     // FORCE writes more pages to the database disks.
-    assert!(
-        force.disk_units[DB_UNIT].stats.writes > noforce.disk_units[DB_UNIT].stats.writes
-    );
+    assert!(force.devices[DB_UNIT].stats.writes > noforce.devices[DB_UNIT].stats.writes);
 }
 
 #[test]
@@ -94,7 +92,7 @@ fn write_buffer_halves_disk_response_time_in_both_strategies() {
             disk.response_time.mean
         );
         // The non-volatile caches actually absorb writes.
-        assert!(wb.disk_units[DB_UNIT].stats.absorbed_writes > 0);
+        assert!(wb.devices[DB_UNIT].stats.absorbed_writes > 0);
     }
 }
 

@@ -92,10 +92,17 @@ fn storage_hierarchy_ordering_matches_fig_4_2() {
 
 #[test]
 fn memory_resident_pays_only_for_logging() {
-    let config = quick(debit_credit_config(DebitCreditStorage::MemoryResident, 50.0));
+    let config = quick(debit_credit_config(
+        DebitCreditStorage::MemoryResident,
+        50.0,
+    ));
     let report = Simulation::new(config, debit_credit_workload(100)).run();
     // All database references hit (memory-resident partitions).
-    assert!(report.mm_hit_ratio() > 0.999, "hit {}", report.mm_hit_ratio());
+    assert!(
+        report.mm_hit_ratio() > 0.999,
+        "hit {}",
+        report.mm_hit_ratio()
+    );
     // Response time ≈ CPU (5 ms) + log disk I/O (6.4 ms).
     assert!(
         report.response_time.mean > 6.0 && report.response_time.mean < 25.0,
@@ -103,8 +110,8 @@ fn memory_resident_pays_only_for_logging() {
         report.response_time.mean
     );
     // No database disk unit activity beyond the log.
-    assert_eq!(report.disk_units[DB_UNIT].stats.reads, 0);
-    assert!(report.disk_units[LOG_UNIT].stats.writes > 0);
+    assert_eq!(report.devices[DB_UNIT].stats.reads, 0);
+    assert!(report.devices[LOG_UNIT].stats.writes > 0);
 }
 
 #[test]
@@ -123,9 +130,9 @@ fn log_on_single_disk_saturates_but_nvem_log_does_not() {
     )
     .run();
     assert!(
-        single.disk_units[LOG_UNIT].disk_utilization > 0.9,
+        single.devices[LOG_UNIT].disk_utilization > 0.9,
         "log disk utilization {}",
-        single.disk_units[LOG_UNIT].disk_utilization
+        single.devices[LOG_UNIT].disk_utilization
     );
     assert!(single.throughput_tps < 250.0);
     assert!(
@@ -157,7 +164,7 @@ fn nonvolatile_log_cache_keeps_response_times_low_below_saturation() {
         plain.response_time.mean
     );
     // The absorbed log writes show up as absorbed writes at the log unit.
-    assert!(cached.disk_units[LOG_UNIT].stats.absorbed_writes > 0);
+    assert!(cached.devices[LOG_UNIT].stats.absorbed_writes > 0);
 }
 
 #[test]
