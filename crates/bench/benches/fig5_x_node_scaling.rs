@@ -1,0 +1,35 @@
+//! Fig. 5.x — multi-node data-sharing scaling (beyond the paper).
+//!
+//! Sweeps 1/2/4/8 computing modules in front of the shared storage complex,
+//! offering the same per-node arrival rate at every point, and reports the
+//! simulated runs through a Criterion measurement.  The per-node rate is
+//! chosen so the aggregate offered load crosses the ~200 TPS ceiling of the
+//! single shared log disk: the CPU complex scales linearly with the node
+//! count, but throughput scales sub-linearly because every node queues at the
+//! shared log device, pays message round trips to the global lock service on
+//! node 0, and invalidates the other nodes' buffered copies at commit.
+
+mod common;
+
+use tpsim_bench::microbench::{black_box, Criterion};
+use tpsim_bench::runner::{data_sharing_point, run_debit_credit};
+
+fn bench(c: &mut Criterion) {
+    let settings = common::settings();
+    let mut group = c.benchmark_group("fig5_x_node_scaling");
+    for nodes in [1usize, 2, 4, 8] {
+        group.bench_function(format!("{nodes} nodes"), |b| {
+            b.iter(|| {
+                let report = run_debit_credit(&settings, data_sharing_point(nodes, 60.0));
+                black_box(report.throughput_tps)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -79,6 +79,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "fig4.8",
             title: "Fig. 4.8: page- vs object-locking for different allocation strategies",
         },
+        Experiment {
+            id: "fig5.x",
+            title: "Fig. 5.x: multi-node data-sharing scaling (beyond the paper)",
+        },
     ]
 }
 
@@ -100,6 +104,7 @@ pub fn run_experiment(id: &str, settings: &RunSettings) -> ExperimentResult {
         "fig4.6" => fig4_6(settings),
         "fig4.7" => fig4_7(settings),
         "fig4.8" => fig4_8(settings),
+        "fig5.x" => fig5_x(settings),
         _ => unreachable!(),
     };
     ExperimentResult { experiment, table }
@@ -644,6 +649,64 @@ fn fig4_8(settings: &RunSettings) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fig. 5.x — multi-node data-sharing scaling (beyond the paper)
+// ---------------------------------------------------------------------------
+
+fn fig5_x(settings: &RunSettings) -> String {
+    // The same per-node offered rate at every point: the aggregate load
+    // grows linearly with the node count, but the shared log disk and the
+    // global lock service do not.
+    let per_node_rate = 60.0;
+    let node_counts = [1usize, 2, 4, 8];
+    let points = node_counts
+        .iter()
+        .map(|&n| {
+            (
+                format!("{n} nodes"),
+                n as f64,
+                runner::data_sharing_point(n, per_node_rate),
+                Family::DebitCredit,
+            )
+        })
+        .collect();
+    let results = runner::run_sweep(settings, points);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>12} {:>12} {:>10} {:>14} {:>14} {:>12}",
+        "nodes",
+        "offered [TPS]",
+        "thru [TPS]",
+        "resp [ms]",
+        "cpu [%]",
+        "remote locks",
+        "invalidations",
+        "log util [%]"
+    );
+    for (n, point) in node_counts.iter().zip(&results) {
+        let r = &point.report;
+        let log_util = r
+            .devices
+            .get(tpsim::presets::LOG_UNIT)
+            .map(|d| d.disk_utilization)
+            .unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14.0} {:>12.1} {:>12.2} {:>10.1} {:>14} {:>14} {:>12.1}",
+            n,
+            per_node_rate * *n as f64,
+            r.throughput_tps,
+            r.response_time.mean,
+            r.cpu_utilization * 100.0,
+            r.remote_lock_requests(),
+            r.invalidations(),
+            log_util * 100.0
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -653,11 +716,11 @@ mod tests {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for expected in [
             "table2.1", "table2.2", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "table4.2", "fig4.5",
-            "fig4.6", "fig4.7", "fig4.8",
+            "fig4.6", "fig4.7", "fig4.8", "fig5.x",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.len(), 12);
     }
 
     #[test]

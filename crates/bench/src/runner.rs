@@ -255,6 +255,13 @@ pub fn fig4_8_point(
     presets::contention_config(allocation, granularity, rate)
 }
 
+/// Configuration of one multi-node scaling point (`fig5_x_node_scaling`):
+/// `num_nodes` computing modules sharing the storage complex, offered
+/// `per_node_rate` TPS per node.
+pub fn data_sharing_point(num_nodes: usize, per_node_rate: f64) -> SimulationConfig {
+    presets::data_sharing_config(num_nodes, per_node_rate * num_nodes as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +319,37 @@ mod tests {
             assert_eq!(s.series, p.series);
             // Byte-identical: the full report must match, not just summaries.
             assert_eq!(s.report, p.report);
+        }
+    }
+
+    #[test]
+    fn multi_node_sweep_is_deterministic_across_parallelism() {
+        // Extends the parallel-equals-serial guarantee to the NodeParams
+        // dimension: the points of a node-count sweep must be byte-identical
+        // however they are scheduled.
+        let mut settings = RunSettings::quick();
+        let mk_points = || {
+            [1usize, 2, 4]
+                .iter()
+                .map(|&n| {
+                    (
+                        format!("{n}-node"),
+                        n as f64,
+                        data_sharing_point(n, 60.0),
+                        Family::DebitCredit,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        settings.parallel = false;
+        let seq = run_sweep(&settings, mk_points());
+        settings.parallel = true;
+        settings.threads = 3;
+        let par = run_sweep(&settings, mk_points());
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(par.iter()) {
+            assert_eq!(s.report, p.report);
+            assert_eq!(s.report.nodes.len(), s.x as usize);
         }
     }
 

@@ -79,7 +79,7 @@ impl SecondLevelMode {
     }
 }
 
-/// Propagation strategy for modified pages [HR83].
+/// Propagation strategy for modified pages (Härder/Reuter 1983).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum UpdateStrategy {
     /// NOFORCE: modified pages stay in the buffer after commit and are written

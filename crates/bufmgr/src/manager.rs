@@ -393,6 +393,32 @@ impl BufferManager {
         }
     }
 
+    /// Drops any buffered copy of `page` because another node committed an
+    /// update to it (data sharing: cross-node buffer invalidation).  The
+    /// stale copy is discarded without a write-back even if it is dirty
+    /// (possible under NOFORCE): its update is superseded by the committing
+    /// node's version, which that node holds dirty in its own pool and will
+    /// itself propagate — only the latest owner writes the page, as in a
+    /// real coherence protocol.  Returns true if a copy was dropped.
+    ///
+    /// Frames that track an *in-flight* asynchronous disk write of a version
+    /// this node produced earlier are left alone so the write's completion
+    /// bookkeeping stays consistent: write-buffer frames always, and
+    /// NVEM-cache entries while their pending count is non-zero.
+    pub fn invalidate_page(&mut self, page: PageId) -> bool {
+        let mut dropped = self.mm.remove(&page).is_some();
+        if let Some(cache) = self.nvem_cache.as_mut() {
+            if cache.peek(&page).is_some_and(|e| e.pending == 0) {
+                cache.remove(&page);
+                dropped = true;
+            }
+        }
+        if dropped {
+            self.stats.invalidations += 1;
+        }
+        dropped
+    }
+
     fn ensure_partition_stats(&mut self, partition: usize) {
         if partition >= self.stats.per_partition.len() {
             self.stats
@@ -748,6 +774,49 @@ mod tests {
         let mut cfg = disk_config(10);
         cfg.mm_buffer_pages = 0;
         let _ = BufferManager::new(cfg);
+    }
+
+    #[test]
+    fn invalidate_page_drops_mm_and_nvem_copies() {
+        let cfg = disk_config(2).with_nvem_cache(4, SecondLevelMode::All);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), false);
+        bm.reference_page(0, PageId(2), false);
+        bm.reference_page(0, PageId(3), false); // evicts 1 (clean) → NVEM cache
+        assert!(bm.nvem_contains(PageId(1)));
+        assert!(bm.mm_contains(PageId(2)));
+        // Invalidate a main-memory copy and a clean NVEM-cache copy.
+        assert!(bm.invalidate_page(PageId(2)));
+        assert!(bm.invalidate_page(PageId(1)));
+        assert!(!bm.mm_contains(PageId(2)));
+        assert!(!bm.nvem_contains(PageId(1)));
+        assert_eq!(bm.stats().invalidations, 2);
+        // Pages this node never buffered are a no-op.
+        assert!(!bm.invalidate_page(PageId(99)));
+        assert_eq!(bm.stats().invalidations, 2);
+        // The next reference misses again (the stale copy is gone).
+        let out = bm.reference_page(0, PageId(2), false);
+        assert!(!out.main_memory_hit && !out.nvem_cache_hit);
+    }
+
+    #[test]
+    fn invalidate_page_spares_nvem_entries_with_inflight_writes() {
+        let cfg = disk_config(1).with_nvem_cache(4, SecondLevelMode::All);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), true);
+        bm.reference_page(0, PageId(2), false); // evicts 1 dirty → NVEM, async write pending
+        assert!(bm.nvem_contains(PageId(1)));
+        // The pending entry tracks an in-flight disk write: invalidation must
+        // leave its bookkeeping alone.
+        assert!(!bm.invalidate_page(PageId(1)));
+        assert!(bm.nvem_contains(PageId(1)));
+        assert_eq!(bm.stats().invalidations, 0);
+        // Once the write completes the entry is a plain (clean) cache copy
+        // and becomes invalidatable.
+        bm.async_write_complete(PageId(1));
+        assert!(bm.invalidate_page(PageId(1)));
+        assert!(!bm.nvem_contains(PageId(1)));
+        assert_eq!(bm.stats().invalidations, 1);
     }
 
     #[test]

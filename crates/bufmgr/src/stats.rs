@@ -46,6 +46,9 @@ pub struct BufferStats {
     pub write_buffer_overflows: u64,
     /// Pages forced at commit time (FORCE strategy).
     pub forced_pages: u64,
+    /// Buffered copies dropped because another node committed an update to
+    /// the page (data sharing: cross-node buffer invalidation).
+    pub invalidations: u64,
 }
 
 impl BufferStats {
@@ -87,6 +90,29 @@ impl BufferStats {
     pub fn reset(&mut self) {
         let n = self.per_partition.len();
         *self = Self::new(n);
+    }
+
+    /// Adds `other`'s counters into `self` (aggregation across the per-node
+    /// buffer managers of a data-sharing run).  Partition vectors of different
+    /// lengths are aligned by index.
+    pub fn absorb(&mut self, other: &BufferStats) {
+        if other.per_partition.len() > self.per_partition.len() {
+            self.per_partition
+                .resize(other.per_partition.len(), PartitionBufferStats::default());
+        }
+        for (mine, theirs) in self.per_partition.iter_mut().zip(&other.per_partition) {
+            mine.references += theirs.references;
+            mine.mm_hits += theirs.mm_hits;
+            mine.nvem_hits += theirs.nvem_hits;
+        }
+        self.mm_evictions += other.mm_evictions;
+        self.dirty_evictions += other.dirty_evictions;
+        self.migrations_to_nvem += other.migrations_to_nvem;
+        self.migrations_from_nvem += other.migrations_from_nvem;
+        self.write_buffer_absorbed += other.write_buffer_absorbed;
+        self.write_buffer_overflows += other.write_buffer_overflows;
+        self.forced_pages += other.forced_pages;
+        self.invalidations += other.invalidations;
     }
 }
 
@@ -131,7 +157,29 @@ mod tests {
         let mut s = BufferStats::new(3);
         s.per_partition[2].references = 5;
         s.mm_evictions = 7;
+        s.invalidations = 2;
         s.reset();
         assert_eq!(s, BufferStats::new(3));
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_aligns_partitions() {
+        let mut a = BufferStats::new(1);
+        a.per_partition[0].references = 10;
+        a.per_partition[0].mm_hits = 5;
+        a.mm_evictions = 3;
+        let mut b = BufferStats::new(2);
+        b.per_partition[0].references = 4;
+        b.per_partition[1].references = 6;
+        b.per_partition[1].nvem_hits = 2;
+        b.invalidations = 1;
+        a.absorb(&b);
+        assert_eq!(a.per_partition.len(), 2);
+        assert_eq!(a.per_partition[0].references, 14);
+        assert_eq!(a.per_partition[0].mm_hits, 5);
+        assert_eq!(a.per_partition[1].nvem_hits, 2);
+        assert_eq!(a.references(), 20);
+        assert_eq!(a.mm_evictions, 3);
+        assert_eq!(a.invalidations, 1);
     }
 }

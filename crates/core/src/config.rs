@@ -80,6 +80,58 @@ impl CmParams {
     }
 }
 
+/// Data-sharing (multi-node) parameters.
+///
+/// `num_nodes` computing modules — each with its own CPU servers, local
+/// buffer pool and input queue, all parameterized by the shared
+/// [`CmParams`] — run in front of one shared storage complex (the
+/// [`SimulationConfig::devices`] list, the NVEM and the log allocation).
+/// Concurrency control is a global lock service hosted on node 0
+/// ([`lockmgr::GlobalLockService`]); a lock request from any other node pays
+/// a round trip of `remote_lock_delay_ms` before it reaches the shared
+/// table.  A node's committed updates invalidate stale copies of the written
+/// pages in the other nodes' buffer pools.
+///
+/// The default (`num_nodes == 1`) reproduces the paper's single-CM system
+/// exactly: no messages are charged and no invalidations occur.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeParams {
+    /// Number of computing modules sharing the storage complex.
+    pub num_nodes: usize,
+    /// One-way message delay (ms) for a lock request from a node other than
+    /// the lock service's home node; a remote request pays a round trip
+    /// (2×).  Ignored when `num_nodes == 1`.
+    pub remote_lock_delay_ms: SimTime,
+}
+
+impl Default for NodeParams {
+    fn default() -> Self {
+        Self {
+            num_nodes: 1,
+            // ~0.2 ms per message: a cheap interconnect, noticeable against
+            // the 0.125 ms object-reference CPU burst but far below a disk
+            // access.
+            remote_lock_delay_ms: 0.2,
+        }
+    }
+}
+
+impl NodeParams {
+    /// A single-node (paper-identical) configuration.
+    pub fn single() -> Self {
+        Self::default()
+    }
+
+    /// A data-sharing configuration with `num_nodes` nodes and the default
+    /// message delay.
+    pub fn data_sharing(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            ..Self::default()
+        }
+    }
+}
+
 /// Where the log file is allocated (§3.3: "NVEM-resident, SSD, disk with a
 /// write buffer either in NVEM or in disk cache, or on disk without using a
 /// write buffer"; SSD and cached disks are expressed through the disk-unit
@@ -99,8 +151,12 @@ pub enum LogAllocation {
 /// Complete configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
-    /// CM parameters.
+    /// CM parameters (per node: every computing module is configured
+    /// identically).
     pub cm: CmParams,
+    /// Data-sharing parameters (number of computing modules, remote lock
+    /// message delay).
+    pub nodes: NodeParams,
     /// NVEM device parameters (for the synchronous CPU-access path).
     pub nvem: NvemParams,
     /// The external storage devices of the configuration (indexed by the ids
@@ -147,6 +203,15 @@ impl SimulationConfig {
         }
         if self.cm.group_commit_size > 1 && self.cm.group_commit_timeout_ms <= 0.0 {
             return Err("group commit requires a positive timeout".into());
+        }
+        if self.nodes.num_nodes == 0 {
+            return Err("at least one computing module is required".into());
+        }
+        if self.nodes.num_nodes > 64 {
+            return Err("more than 64 computing modules are not supported".into());
+        }
+        if self.nodes.remote_lock_delay_ms < 0.0 {
+            return Err("remote lock delay must be non-negative".into());
         }
         self.buffer.validate()?;
         // Every device reference must exist.
@@ -198,6 +263,7 @@ mod tests {
     fn minimal_config() -> SimulationConfig {
         SimulationConfig {
             cm: CmParams::default(),
+            nodes: NodeParams::default(),
             nvem: NvemParams::default(),
             devices: vec![DiskUnitParams::database_disks(DiskUnitKind::Regular, 2, 8).into()],
             log_allocation: LogAllocation::DiskUnit(0),
@@ -276,6 +342,23 @@ mod tests {
         c.devices.push(storage::NvemDeviceParams::default().into());
         c.log_allocation = LogAllocation::DiskUnit(1);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_node_params() {
+        let mut c = minimal_config();
+        c.nodes.num_nodes = 0;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.nodes.num_nodes = 65;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.nodes.remote_lock_delay_ms = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.nodes = NodeParams::data_sharing(8);
+        assert!(c.validate().is_ok());
+        assert_eq!(NodeParams::single().num_nodes, 1);
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! Statistics collection: warm-up reset, per-completion recording and the
-//! final report.
+//! final report (aggregate plus one [`NodeReport`] per computing module).
 
 use dbmodel::WorkloadGenerator;
 use simkernel::stats::TimeWeighted;
 use simkernel::time::SimTime;
 
-use crate::metrics::{DeviceReport, ResponseTimeStats, SimulationReport, TxTypeReport};
+use crate::metrics::{DeviceReport, NodeReport, ResponseTimeStats, SimulationReport, TxTypeReport};
 
 use super::Simulation;
 
 impl<W: WorkloadGenerator> Simulation<W> {
-    /// Records the completion of a transaction (no-op during warm-up).
-    pub(super) fn record_completion(&mut self, now: SimTime, arrival: SimTime, tx_type: usize) {
+    /// Records the completion of a transaction on `node` (no-op during
+    /// warm-up).
+    pub(super) fn record_completion(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        arrival: SimTime,
+        tx_type: usize,
+    ) {
         if !self.warmup_done {
             return;
         }
@@ -20,6 +27,8 @@ impl<W: WorkloadGenerator> Simulation<W> {
         self.response_hist.record(resp);
         self.per_type.entry(tx_type).or_default().record(resp);
         self.completed += 1;
+        self.nodes[node].response.record(resp);
+        self.nodes[node].completed += 1;
     }
 
     /// End of the warm-up interval: reset every statistic without touching
@@ -35,28 +44,37 @@ impl<W: WorkloadGenerator> Simulation<W> {
         self.aborts = 0;
         self.log_group_writes = 0;
         self.nvem_busy = 0.0;
-        self.cpus.reset_stats(now);
         for u in &mut self.units {
             u.device.reset_stats();
             u.controllers.reset_stats(now);
             u.disks.reset_stats(now);
         }
-        self.bufmgr.reset_stats();
         self.lockmgr.reset_stats();
+        for node in &mut self.nodes {
+            node.cpus.reset_stats(now);
+            node.bufmgr.reset_stats();
+            node.completed = 0;
+            node.aborts = 0;
+            node.remote_lock_requests = 0;
+            node.response.reset();
+            node.active_tw = TimeWeighted::new();
+            node.active_tw.record(now, node.active_count as f64);
+            node.inputq_tw = TimeWeighted::new();
+            node.inputq_tw.record(now, node.input_queue.len() as f64);
+        }
         self.active_tw = TimeWeighted::new();
-        self.active_tw.record(now, self.active_count as f64);
+        self.active_tw.record(now, self.total_active as f64);
         self.inputq_tw = TimeWeighted::new();
-        self.inputq_tw.record(now, self.input_queue.len() as f64);
+        self.inputq_tw.record(now, self.total_queued as f64);
     }
 
     /// Assembles the final report at the end of the run.
     pub(super) fn build_report(mut self) -> SimulationReport {
         let now = self.queue.now();
         let measured = (now - self.measure_start).max(1e-9);
-        self.active_tw.record(now, self.active_count as f64);
-        self.inputq_tw.record(now, self.input_queue.len() as f64);
+        self.active_tw.record(now, self.total_active as f64);
+        self.inputq_tw.record(now, self.total_queued as f64);
 
-        let cpu_stats = self.cpus.stats(now);
         let response_time = if self.response.count() > 0 {
             ResponseTimeStats {
                 count: self.response.count(),
@@ -96,6 +114,35 @@ impl<W: WorkloadGenerator> Simulation<W> {
             })
             .collect();
 
+        // Per-node breakdown plus the aggregates derived from it: the
+        // aggregate buffer statistics sum over the node-local pools and the
+        // aggregate CPU utilization averages the (identically sized) per-node
+        // CPU complexes, so a single-node run reports exactly the values of
+        // its one node.
+        let mut buffer = bufmgr::BufferStats::new(self.config.buffer.partitions.len());
+        let mut cpu_utilization = 0.0;
+        let mut nodes_report = Vec::with_capacity(self.nodes.len());
+        for (id, node) in self.nodes.iter_mut().enumerate() {
+            let cpu_stats = node.cpus.stats(now);
+            cpu_utilization += cpu_stats.utilization;
+            node.active_tw.record(now, node.active_count as f64);
+            node.inputq_tw.record(now, node.input_queue.len() as f64);
+            buffer.absorb(node.bufmgr.stats());
+            nodes_report.push(NodeReport {
+                node: id,
+                completed: node.completed,
+                aborts: node.aborts,
+                throughput_tps: node.completed as f64 / (measured / 1000.0),
+                mean_response_ms: node.response.mean().unwrap_or(0.0),
+                cpu_utilization: cpu_stats.utilization,
+                avg_active_transactions: node.active_tw.mean().unwrap_or(0.0),
+                avg_input_queue: node.inputq_tw.mean().unwrap_or(0.0),
+                remote_lock_requests: node.remote_lock_requests,
+                buffer: node.bufmgr.stats().clone(),
+            });
+        }
+        cpu_utilization /= self.nodes.len() as f64;
+
         let nvem_capacity = self.config.nvem.num_servers.max(1) as f64;
         SimulationReport {
             arrival_rate_tps: self.config.arrival_rate_tps,
@@ -106,13 +153,15 @@ impl<W: WorkloadGenerator> Simulation<W> {
             throughput_tps: self.completed as f64 / (measured / 1000.0),
             response_time,
             per_type,
-            cpu_utilization: cpu_stats.utilization,
+            cpu_utilization,
             nvem_utilization: (self.nvem_busy / (measured * nvem_capacity)).min(1.0),
             avg_active_transactions: self.active_tw.mean().unwrap_or(0.0),
             avg_input_queue: self.inputq_tw.mean().unwrap_or(0.0),
-            buffer: self.bufmgr.stats().clone(),
+            buffer,
             locks: self.lockmgr.stats(),
+            global_locks: self.lockmgr.global_stats(),
             devices,
+            nodes: nodes_report,
         }
     }
 }

@@ -187,13 +187,13 @@ impl<W: WorkloadGenerator> Simulation<W> {
     // ------------------------------------------------------------------
 
     pub(super) fn op_force_pages(&mut self, slot: usize) -> Flow {
-        let pages = self.txs[slot]
-            .as_ref()
-            .expect("live transaction")
-            .written_pages();
+        let (node, pages) = {
+            let tx = self.txs[slot].as_ref().expect("live transaction");
+            (tx.node, tx.written_pages())
+        };
         let mut page_ops = Vec::new();
         for (partition, page) in pages {
-            page_ops.extend(self.bufmgr.force_page(partition, page));
+            page_ops.extend(self.nodes[node].bufmgr.force_page(partition, page));
         }
         let ops = self.convert_page_ops(&page_ops);
         self.txs[slot]
@@ -205,26 +205,55 @@ impl<W: WorkloadGenerator> Simulation<W> {
 
     pub(super) fn op_complete(&mut self, slot: usize) -> Flow {
         let now = self.queue.now();
-        let (tx_id, arrival, tx_type) = {
+        let (tx_id, node, arrival, tx_type, is_update) = {
             let tx = self.txs[slot].as_ref().expect("live transaction");
-            (tx.id, tx.arrival, tx.template.tx_type)
+            (
+                tx.id,
+                tx.node,
+                tx.arrival,
+                tx.template.tx_type,
+                tx.template.is_update(),
+            )
         };
-        // Phase 2 of commit: release all locks and wake waiters.
+        // Data sharing: a committed update invalidates stale copies of the
+        // written pages in every *other* node's buffer pool.  Stale copies
+        // are dropped without a write-back even when dirty (NOFORCE): the
+        // committing node holds the current version and propagates it
+        // itself, so only the latest owner ever writes the page.
+        if self.num_nodes() > 1 && is_update {
+            let pages = self.txs[slot]
+                .as_ref()
+                .expect("live transaction")
+                .written_pages();
+            for (_, page) in pages {
+                for (other, node_rt) in self.nodes.iter_mut().enumerate() {
+                    if other != node {
+                        node_rt.bufmgr.invalidate_page(page);
+                    }
+                }
+            }
+        }
+        // Phase 2 of commit: release all locks and wake waiters.  Release
+        // messages to the global lock service are asynchronous — the
+        // committer does not wait for them.
         let woken = self.lockmgr.release_all(tx_id);
         self.wake_lock_waiters(&woken);
 
         // Statistics.
-        self.record_completion(now, arrival, tx_type);
+        self.record_completion(now, node, arrival, tx_type);
 
         // Free the slot.
         self.id_to_slot.remove(&tx_id);
         self.txs[slot] = None;
         self.free_slots.push(slot);
-        self.active_count -= 1;
-        self.active_tw.record(now, self.active_count as f64);
+        self.nodes[node].active_count -= 1;
+        self.total_active -= 1;
+        self.active_tw.record(now, self.total_active as f64);
+        let node_active = self.nodes[node].active_count;
+        self.nodes[node].active_tw.record(now, node_active as f64);
 
-        // Admit the next waiting transaction, if any.
-        self.admit_next();
+        // Admit the node's next waiting transaction, if any.
+        self.admit_next(node);
         Flow::Finished
     }
 }

@@ -1,9 +1,10 @@
 //! CPU burst scheduling.
 //!
-//! All transactions share the CM's CPU servers (an FCFS multi-server
-//! resource).  A burst either starts immediately or queues; when a burst
-//! finishes, the freed CPU is handed to the oldest queued burst and the
-//! finished transaction re-enters the ready queue.
+//! Transactions share the CPU servers of the node they run on (an FCFS
+//! multi-server resource per computing module).  A burst either starts
+//! immediately or queues; when a burst finishes, the freed CPU is handed to
+//! the oldest queued burst of the same node and the finished transaction
+//! re-enters the ready queue.
 
 use dbmodel::WorkloadGenerator;
 use simkernel::resource::Acquire;
@@ -18,12 +19,13 @@ impl<W: WorkloadGenerator> Simulation<W> {
         if nvem {
             self.nvem_busy += self.config.nvem.access_time;
         }
-        {
+        let node = {
             let tx = self.txs[slot].as_mut().expect("live transaction");
             tx.pending_burst = ms;
             tx.pending_burst_nvem = nvem;
-        }
-        match self.cpus.acquire(now, slot as u64) {
+            tx.node
+        };
+        match self.nodes[node].cpus.acquire(now, slot as u64) {
             Acquire::Granted => {
                 self.txs[slot].as_mut().expect("live transaction").state = TxState::RunningCpu;
                 self.queue.schedule_in(ms, Ev::CpuDone(slot));
@@ -37,8 +39,9 @@ impl<W: WorkloadGenerator> Simulation<W> {
 
     pub(super) fn handle_cpu_done(&mut self, slot: usize) {
         let now = self.queue.now();
-        // Free the CPU and hand it to the next queued burst, if any.
-        if let Some(next) = self.cpus.release(now) {
+        let node = self.node_of(slot);
+        // Free the CPU and hand it to the node's next queued burst, if any.
+        if let Some(next) = self.nodes[node].cpus.release(now) {
             let nslot = next as usize;
             if let Some(tx) = self.txs[nslot].as_mut() {
                 tx.state = TxState::RunningCpu;

@@ -5,14 +5,19 @@
 //! processing.  Whenever a transaction's micro-operation queue runs dry the
 //! current phase generates the next batch; blocked transactions re-enter the
 //! ready queue when the resource they wait for (CPU, lock, I/O) is granted.
+//!
+//! Lock requests go to the *global* lock service.  In a data-sharing run a
+//! request from a node other than the service's home node first pays a
+//! message round trip ([`MicroOp::RemoteDelay`]) before it reaches the shared
+//! lock table; on a single node every request is local and free.
 
 use bufmgr::UpdateStrategy;
 use dbmodel::WorkloadGenerator;
 use lockmgr::LockOutcome;
-use simkernel::time::instr_time;
+use simkernel::time::{instr_time, SimTime};
 
 use super::transaction::{MicroOp, TxPhase, TxState};
-use super::{Flow, Simulation};
+use super::{Ev, Flow, Simulation};
 
 impl<W: WorkloadGenerator> Simulation<W> {
     /// Drains the ready queue, advancing every runnable transaction.
@@ -91,6 +96,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
         match op {
             MicroOp::CpuBurst { ms, nvem } => self.op_cpu_burst(slot, ms, nvem),
             MicroOp::Lock { ref_idx } => self.op_lock(slot, ref_idx),
+            MicroOp::RemoteDelay { ms } => self.op_remote_delay(slot, ms),
             MicroOp::IssueIo {
                 unit,
                 kind,
@@ -106,12 +112,53 @@ impl<W: WorkloadGenerator> Simulation<W> {
         }
     }
 
+    /// Pure delay: the message round trip of a remote lock request.
+    fn op_remote_delay(&mut self, slot: usize, ms: SimTime) -> Flow {
+        self.txs[slot].as_mut().expect("live transaction").state = TxState::WaitingMessage;
+        self.queue.schedule_in(ms, Ev::MsgDone(slot));
+        Flow::Blocked
+    }
+
+    /// The message round trip finished: resume the transaction (its next
+    /// micro operation is the deferred lock request).
+    pub(super) fn handle_msg_done(&mut self, slot: usize) {
+        if let Some(tx) = self.txs.get_mut(slot).and_then(Option::as_mut) {
+            tx.state = TxState::Ready;
+            self.ready.push_back(slot);
+        }
+    }
+
     fn op_lock(&mut self, slot: usize, ref_idx: usize) -> Flow {
-        let (tx_id, obj_ref) = {
+        let (tx_id, node, obj_ref, msg_paid) = {
             let tx = self.txs[slot].as_ref().expect("live transaction");
-            (tx.id, tx.template.refs[ref_idx])
+            (tx.id, tx.node, tx.template.refs[ref_idx], tx.lock_msg_paid)
         };
-        match self.lockmgr.acquire(tx_id, &obj_ref) {
+        // Remote request: pay the message round trip to the global lock
+        // service first, then retry the lock operation.
+        if !msg_paid && self.lockmgr.needs_lock(&obj_ref) {
+            if let Some(round_trip) = self.lockmgr.remote_round_trip(node) {
+                let tx = self.txs[slot].as_mut().expect("live transaction");
+                tx.lock_msg_paid = true;
+                tx.push_ops_front(vec![
+                    MicroOp::RemoteDelay { ms: round_trip },
+                    MicroOp::Lock { ref_idx },
+                ]);
+                return Flow::Continue;
+            }
+        }
+        if msg_paid {
+            self.txs[slot]
+                .as_mut()
+                .expect("live transaction")
+                .lock_msg_paid = false;
+        }
+        // Count the per-node remote request at the same instant the service
+        // counts its side (the acquire), so the two stay consistent across a
+        // warm-up reset and for zero-delay configurations.
+        if node != self.lockmgr.home_node() && self.lockmgr.needs_lock(&obj_ref) {
+            self.nodes[node].remote_lock_requests += 1;
+        }
+        match self.lockmgr.acquire(node, tx_id, &obj_ref) {
             LockOutcome::Granted => {
                 self.buffer_fetch(slot, ref_idx);
                 Flow::Continue
@@ -124,6 +171,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             }
             LockOutcome::Deadlock => {
                 self.aborts += 1;
+                self.nodes[node].aborts += 1;
                 let woken = self.lockmgr.abort(tx_id);
                 self.wake_lock_waiters(&woken);
                 // Restart the victim with the same reference string.
@@ -159,17 +207,19 @@ impl<W: WorkloadGenerator> Simulation<W> {
         }
     }
 
-    /// Performs the buffer-manager lookup for object reference `ref_idx` and
-    /// queues the resulting storage operations.
+    /// Performs the buffer-manager lookup for object reference `ref_idx`
+    /// against the owning node's local buffer pool and queues the resulting
+    /// storage operations.
     fn buffer_fetch(&mut self, slot: usize, ref_idx: usize) {
-        let obj_ref = self.txs[slot]
-            .as_ref()
-            .expect("live transaction")
-            .template
-            .refs[ref_idx];
-        let outcome =
-            self.bufmgr
-                .reference_page(obj_ref.partition, obj_ref.page, obj_ref.mode.is_write());
+        let (node, obj_ref) = {
+            let tx = self.txs[slot].as_ref().expect("live transaction");
+            (tx.node, tx.template.refs[ref_idx])
+        };
+        let outcome = self.nodes[node].bufmgr.reference_page(
+            obj_ref.partition,
+            obj_ref.page,
+            obj_ref.mode.is_write(),
+        );
         let ops = self.convert_page_ops(&outcome.ops);
         self.txs[slot]
             .as_mut()

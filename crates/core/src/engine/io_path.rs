@@ -75,9 +75,13 @@ impl<W: WorkloadGenerator> Simulation<W> {
 
     /// Asks the device for its service decision, registers the request and
     /// starts its first stage; returns the request id.  Every I/O — whether
-    /// a transaction waits on it or not — goes through here.
+    /// a transaction waits on it or not — goes through here.  `node` is the
+    /// computing module whose buffer manager issued the request (buffer
+    /// notifications are routed back to it).
+    #[allow(clippy::too_many_arguments)]
     fn start_io(
         &mut self,
+        node: usize,
         unit: usize,
         kind: IoKind,
         page: PageId,
@@ -89,7 +93,8 @@ impl<W: WorkloadGenerator> Simulation<W> {
         let io_id = self.next_io_id;
         self.next_io_id += 1;
         let mut io = IoRequest::new(unit, page, decision.foreground, waiter)
-            .with_background(decision.background);
+            .with_background(decision.background)
+            .for_node(node);
         if notify {
             io = io.with_bufmgr_notification();
         }
@@ -112,7 +117,8 @@ impl<W: WorkloadGenerator> Simulation<W> {
         notify: bool,
         log_wb: bool,
     ) -> Flow {
-        self.start_io(unit, kind, page, wait.then_some(slot), notify, log_wb);
+        let node = self.node_of(slot);
+        self.start_io(node, unit, kind, page, wait.then_some(slot), notify, log_wb);
         if wait {
             self.txs[slot].as_mut().expect("live transaction").state = TxState::WaitingIo;
             Flow::Blocked
@@ -124,7 +130,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
     /// Issues an I/O that is not tied to a single waiting transaction (used
     /// for group-commit log writes); returns the request id.
     pub(super) fn issue_detached_io(&mut self, unit: usize, kind: IoKind, page: PageId) -> u64 {
-        self.start_io(unit, kind, page, None, false, false)
+        self.start_io(0, unit, kind, page, None, false, false)
     }
 
     pub(super) fn advance_io(&mut self, io_id: u64) {
@@ -191,7 +197,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             self.units[io.unit].device.destage_complete(io.page);
         }
         if io.notify_bufmgr {
-            self.bufmgr.async_write_complete(io.page);
+            self.nodes[io.node].bufmgr.async_write_complete(io.page);
         }
         if io.log_wb {
             self.log_wb_pending = self.log_wb_pending.saturating_sub(1);
@@ -199,7 +205,9 @@ impl<W: WorkloadGenerator> Simulation<W> {
         if !io.background.is_empty() {
             let bg_id = self.next_io_id;
             self.next_io_id += 1;
-            let bg = IoRequest::new(io.unit, io.page, io.background, None).into_destage();
+            let bg = IoRequest::new(io.unit, io.page, io.background, None)
+                .for_node(io.node)
+                .into_destage();
             self.ios.insert(bg_id, bg);
             self.advance_io(bg_id);
         }

@@ -26,6 +26,9 @@ pub(crate) enum HeldResource {
 pub(crate) struct IoRequest {
     /// The disk unit serving the request.
     pub unit: usize,
+    /// The node whose buffer manager issued the request (routes buffer
+    /// notifications in data-sharing runs; 0 in a single-node run).
+    pub node: usize,
     /// The page concerned.
     pub page: PageId,
     /// Transaction slot waiting for the foreground part, if any.
@@ -58,6 +61,7 @@ impl IoRequest {
     ) -> Self {
         Self {
             unit,
+            node: 0,
             page,
             waiter,
             remaining: stages.into(),
@@ -73,6 +77,12 @@ impl IoRequest {
     /// Attaches background (destage) stages.
     pub fn with_background(mut self, background: Vec<ServiceStage>) -> Self {
         self.background = background;
+        self
+    }
+
+    /// Sets the issuing node.
+    pub fn for_node(mut self, node: usize) -> Self {
+        self.node = node;
         self
     }
 
@@ -104,8 +114,10 @@ mod tests {
         let io = IoRequest::new(2, PageId(7), vec![ServiceStage::Disk(5.0)], Some(3))
             .with_background(vec![ServiceStage::Disk(5.0)])
             .with_bufmgr_notification()
-            .with_log_wb();
+            .with_log_wb()
+            .for_node(1);
         assert_eq!(io.unit, 2);
+        assert_eq!(io.node, 1);
         assert_eq!(io.waiter, Some(3));
         assert_eq!(io.remaining.len(), 1);
         assert_eq!(io.background.len(), 1);

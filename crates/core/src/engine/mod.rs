@@ -1,23 +1,35 @@
 //! The TPSIM discrete-event engine.
 //!
-//! Ties the SOURCE (workload generator), the CM (transaction manager, CPUs,
-//! lock manager, buffer manager) and the external devices together and runs
-//! the open queuing model: Poisson arrivals, MPL admission control,
-//! transaction execution with CPU bursts, lock requests, buffer fetches and
-//! I/O, commit processing with logging, (optionally) FORCE writes and
-//! (optionally) group commit.
+//! Ties the SOURCE (workload generator), the computing modules (transaction
+//! manager, CPUs, lock manager, buffer manager) and the external devices
+//! together and runs the open queuing model: Poisson arrivals, MPL admission
+//! control, transaction execution with CPU bursts, lock requests, buffer
+//! fetches and I/O, commit processing with logging, (optionally) FORCE writes
+//! and (optionally) group commit.
+//!
+//! **Data sharing**: with `config.nodes.num_nodes > 1` several computing
+//! modules run in front of the *shared* storage complex.  Each node has its
+//! own CPU servers, local buffer pool and input queue; arriving transactions
+//! are assigned round robin.  All nodes contend for the same storage devices
+//! and NVEM, synchronize through one global lock service (hosted on node 0;
+//! remote lock requests pay a message round trip) and invalidate each other's
+//! stale buffer copies at commit.  A single-node run is exactly the paper's
+//! centralized system.
 //!
 //! The engine is split into focused subsystems; this module only defines the
 //! shared state and dispatches events:
 //!
-//! * [`source`] — transaction arrivals and MPL admission control,
-//! * [`exec`] — the per-transaction micro-operation state machine (object
+//! * `source` — transaction arrivals, node assignment and per-node MPL
+//!   admission control,
+//! * `exec` — the per-transaction micro-operation state machine (object
 //!   references, locks, buffer fetches),
-//! * [`cpu`] — CPU burst scheduling on the shared CPU servers,
-//! * [`io_path`] — the I/O request lifecycle against the pluggable
+//! * `cpu` — CPU burst scheduling on the owning node's CPU servers,
+//! * `io_path` — the I/O request lifecycle against the pluggable
 //!   [`StorageDevice`] models,
-//! * [`commit`] — commit processing: logging, FORCE/NOFORCE, group commit,
-//! * [`collect`] — statistics collection and the final report.
+//! * `commit` — commit processing: logging, FORCE/NOFORCE, group commit,
+//!   cross-node buffer invalidation,
+//! * `collect` — statistics collection and the final report (aggregate and
+//!   per node).
 
 mod collect;
 mod commit;
@@ -35,7 +47,7 @@ use std::collections::{HashMap, VecDeque};
 
 use bufmgr::BufferManager;
 use dbmodel::{TransactionTemplate, WorkloadGenerator};
-use lockmgr::LockManager;
+use lockmgr::GlobalLockService;
 use simkernel::stats::{Histogram, Tally, TimeWeighted};
 use simkernel::time::{interarrival_ms, SimTime};
 use simkernel::{EventQueue, Resource, SimRng};
@@ -56,6 +68,8 @@ enum Ev {
     CpuDone(usize),
     /// The current service stage of the given I/O request finished.
     IoStage(u64),
+    /// The message round trip of the transaction in the given slot finished.
+    MsgDone(usize),
     /// Flush the open group-commit batch with the given sequence number if it
     /// is still open (timeout path).
     GroupCommitFlush(u64),
@@ -77,11 +91,48 @@ enum Flow {
 }
 
 /// Runtime state of one storage device: the pluggable policy model plus the
-/// queued resources for its controllers and disk servers.
+/// queued resources for its controllers and disk servers.  Devices are shared
+/// by all nodes.
 struct UnitRuntime {
     device: Box<dyn StorageDevice>,
     controllers: Resource,
     disks: Resource,
+}
+
+/// Runtime state of one computing module (node): its CPU servers, local
+/// buffer pool, input queue and per-node statistics.  A single-node run has
+/// exactly one of these and behaves bit-identically to the pre-data-sharing
+/// engine.
+struct NodeRuntime {
+    cpus: Resource,
+    bufmgr: BufferManager,
+    input_queue: VecDeque<(TransactionTemplate, SimTime)>,
+    active_count: usize,
+
+    // Per-node statistics.
+    completed: u64,
+    aborts: u64,
+    remote_lock_requests: u64,
+    response: Tally,
+    active_tw: TimeWeighted,
+    inputq_tw: TimeWeighted,
+}
+
+impl NodeRuntime {
+    fn new(node: usize, config: &SimulationConfig) -> Self {
+        Self {
+            cpus: Resource::new(format!("node{node}-cpus"), config.cm.num_cpus),
+            bufmgr: BufferManager::new(config.buffer.clone()),
+            input_queue: VecDeque::new(),
+            active_count: 0,
+            completed: 0,
+            aborts: 0,
+            remote_lock_requests: 0,
+            response: Tally::new(),
+            active_tw: TimeWeighted::new(),
+            inputq_tw: TimeWeighted::new(),
+        }
+    }
 }
 
 /// A complete TPSIM simulation run.
@@ -98,25 +149,34 @@ pub struct Simulation<W: WorkloadGenerator> {
 
     // Kernel state.
     queue: EventQueue<Ev>,
-    cpus: Resource,
+    nodes: Vec<NodeRuntime>,
     units: Vec<UnitRuntime>,
-    bufmgr: BufferManager,
-    lockmgr: LockManager,
+    lockmgr: GlobalLockService,
 
     // Transactions.
     txs: Vec<Option<Transaction>>,
+    /// Node that last owned each slot (survives slot release, so late events
+    /// can still route to the right node's resources).
+    slot_nodes: Vec<usize>,
     free_slots: Vec<usize>,
     id_to_slot: HashMap<u64, usize>,
     next_tx_id: u64,
     ready: VecDeque<usize>,
-    input_queue: VecDeque<(TransactionTemplate, SimTime)>,
-    active_count: usize,
+    /// Round-robin assignment cursor of the SOURCE (always 0 with one node;
+    /// consumes no randomness, so a single-node run draws the exact same
+    /// streams as the pre-data-sharing engine).
+    next_arrival_node: usize,
+    /// Running sum of the per-node `active_count`s (kept incrementally so the
+    /// per-event aggregate statistics never scan the node list).
+    total_active: usize,
+    /// Running sum of the per-node input-queue lengths.
+    total_queued: usize,
 
     // I/O requests.
     ios: HashMap<u64, IoRequest>,
     next_io_id: u64,
 
-    // Log bookkeeping.
+    // Log bookkeeping (the log device is shared by all nodes).
     next_log_page: u64,
     log_wb_pending: usize,
 
@@ -135,7 +195,8 @@ pub struct Simulation<W: WorkloadGenerator> {
     measure_start: SimTime,
     stop_arrivals: bool,
 
-    // Statistics.
+    // Aggregate statistics (sums over all nodes, kept incrementally so the
+    // single-node report is identical to the per-node one).
     response: Tally,
     response_hist: Histogram,
     per_type: HashMap<usize, Tally>,
@@ -172,9 +233,15 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 disks: Resource::new(format!("unit-{i}-disks"), spec.num_disks()),
             })
             .collect();
-        let bufmgr = BufferManager::new(config.buffer.clone());
-        let lockmgr = LockManager::new(config.cc_modes.clone());
-        let cpus = Resource::new("cpus", config.cm.num_cpus);
+        let nodes = (0..config.nodes.num_nodes)
+            .map(|n| NodeRuntime::new(n, &config))
+            .collect();
+        let remote_delay = if config.nodes.num_nodes > 1 {
+            config.nodes.remote_lock_delay_ms
+        } else {
+            0.0
+        };
+        let lockmgr = GlobalLockService::new(config.cc_modes.clone(), 0, remote_delay);
         let end_time = config.total_time_ms();
 
         Self {
@@ -183,17 +250,18 @@ impl<W: WorkloadGenerator> Simulation<W> {
             service_rng,
             workload_rng,
             queue: EventQueue::new(),
-            cpus,
+            nodes,
             units,
-            bufmgr,
             lockmgr,
             txs: Vec::new(),
+            slot_nodes: Vec::new(),
             free_slots: Vec::new(),
             id_to_slot: HashMap::new(),
             next_tx_id: 1,
             ready: VecDeque::new(),
-            input_queue: VecDeque::new(),
-            active_count: 0,
+            next_arrival_node: 0,
+            total_active: 0,
+            total_queued: 0,
             ios: HashMap::new(),
             next_io_id: 1,
             next_log_page: u64::MAX,
@@ -219,10 +287,24 @@ impl<W: WorkloadGenerator> Simulation<W> {
         }
     }
 
+    /// Number of computing modules in the configuration.
+    fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node the transaction in `slot` runs on.
+    fn node_of(&self, slot: usize) -> usize {
+        self.slot_nodes[slot]
+    }
+
     /// Runs the simulation to completion and produces the report.
     pub fn run(mut self) -> SimulationReport {
         self.active_tw.record(0.0, 0.0);
         self.inputq_tw.record(0.0, 0.0);
+        for node in &mut self.nodes {
+            node.active_tw.record(0.0, 0.0);
+            node.inputq_tw.record(0.0, 0.0);
+        }
         let first = self
             .arrival_rng
             .exponential(interarrival_ms(self.config.arrival_rate_tps));
@@ -238,6 +320,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 Ev::Arrival => self.handle_arrival(),
                 Ev::CpuDone(slot) => self.handle_cpu_done(slot),
                 Ev::IoStage(io_id) => self.handle_io_stage(io_id),
+                Ev::MsgDone(slot) => self.handle_msg_done(slot),
                 Ev::GroupCommitFlush(seq) => self.handle_group_commit_flush(seq),
             }
             self.process_ready();

@@ -1,9 +1,13 @@
-//! The SOURCE: transaction arrivals and MPL admission control.
+//! The SOURCE: transaction arrivals, node assignment and MPL admission
+//! control.
 //!
-//! Transactions arrive in an open Poisson stream; at most `cm.mpl`
-//! transactions are active at once and excess arrivals wait in the input
-//! queue (admission control).  A slot freed at commit immediately admits the
-//! oldest waiting transaction.
+//! Transactions arrive in an open Poisson stream and are assigned to the
+//! computing modules round robin (the assignment consumes no randomness, so a
+//! single-node run draws the exact same streams as the pre-data-sharing
+//! engine).  At most `cm.mpl` transactions are active per node at once and
+//! excess arrivals wait in the owning node's input queue (admission control).
+//! A slot freed at commit immediately admits the oldest transaction waiting
+//! at that node.
 
 use dbmodel::{TransactionTemplate, WorkloadGenerator};
 use simkernel::time::{instr_time, interarrival_ms, SimTime};
@@ -24,14 +28,17 @@ impl<W: WorkloadGenerator> Simulation<W> {
         if now + gap < self.end_time {
             self.queue.schedule_in(gap, Ev::Arrival);
         }
-        // Generate the transaction.
+        // Generate the transaction and assign it to a node.
         match self.workload.next_transaction(&mut self.workload_rng) {
             Some(template) => {
-                if self.active_count < self.config.cm.mpl {
-                    self.activate(template, now);
+                let node = self.next_arrival_node;
+                self.next_arrival_node = (self.next_arrival_node + 1) % self.num_nodes();
+                if self.nodes[node].active_count < self.config.cm.mpl {
+                    self.activate(node, template, now);
                 } else {
-                    self.input_queue.push_back((template, now));
-                    self.inputq_tw.record(now, self.input_queue.len() as f64);
+                    self.nodes[node].input_queue.push_back((template, now));
+                    self.total_queued += 1;
+                    self.record_input_queue(node, now);
                 }
             }
             None => {
@@ -41,13 +48,18 @@ impl<W: WorkloadGenerator> Simulation<W> {
         }
     }
 
-    /// Admits a transaction: assigns a slot, queues its BOT processing and
-    /// marks it ready.
-    pub(super) fn activate(&mut self, template: TransactionTemplate, arrival: SimTime) {
+    /// Admits a transaction at `node`: assigns a slot, queues its BOT
+    /// processing and marks it ready.
+    pub(super) fn activate(
+        &mut self,
+        node: usize,
+        template: TransactionTemplate,
+        arrival: SimTime,
+    ) {
         let now = self.queue.now();
         let id = self.next_tx_id;
         self.next_tx_id += 1;
-        let mut tx = Transaction::new(id, template, arrival);
+        let mut tx = Transaction::new(id, node, template, arrival);
         let bot = instr_time(
             self.service_rng.exponential(self.config.cm.instr_bot),
             self.config.cm.mips,
@@ -59,26 +71,40 @@ impl<W: WorkloadGenerator> Simulation<W> {
         let slot = match self.free_slots.pop() {
             Some(s) => {
                 self.txs[s] = Some(tx);
+                self.slot_nodes[s] = node;
                 s
             }
             None => {
                 self.txs.push(Some(tx));
+                self.slot_nodes.push(node);
                 self.txs.len() - 1
             }
         };
         self.id_to_slot.insert(id, slot);
-        self.active_count += 1;
-        self.active_tw.record(now, self.active_count as f64);
+        self.nodes[node].active_count += 1;
+        self.total_active += 1;
+        self.active_tw.record(now, self.total_active as f64);
+        let node_active = self.nodes[node].active_count;
+        self.nodes[node].active_tw.record(now, node_active as f64);
         self.ready.push_back(slot);
     }
 
-    /// Admits the oldest transaction waiting in the input queue, if any
-    /// (called when a commit frees an MPL slot).
-    pub(super) fn admit_next(&mut self) {
+    /// Admits the oldest transaction waiting in `node`'s input queue, if any
+    /// (called when a commit frees an MPL slot on that node).
+    pub(super) fn admit_next(&mut self, node: usize) {
         let now = self.queue.now();
-        if let Some((template, arrival)) = self.input_queue.pop_front() {
-            self.inputq_tw.record(now, self.input_queue.len() as f64);
-            self.activate(template, arrival);
+        if let Some((template, arrival)) = self.nodes[node].input_queue.pop_front() {
+            self.total_queued -= 1;
+            self.record_input_queue(node, now);
+            self.activate(node, template, arrival);
         }
+    }
+
+    /// Records the aggregate and per-node input-queue lengths after a change
+    /// at `node`.
+    pub(super) fn record_input_queue(&mut self, node: usize, now: SimTime) {
+        self.inputq_tw.record(now, self.total_queued as f64);
+        let len = self.nodes[node].input_queue.len();
+        self.nodes[node].inputq_tw.record(now, len as f64);
     }
 }

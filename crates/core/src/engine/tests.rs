@@ -3,7 +3,9 @@
 use storage::NvemDeviceParams;
 
 use crate::config::LogAllocation;
-use crate::presets::{debit_credit_config, debit_credit_workload, DebitCreditStorage, LOG_UNIT};
+use crate::presets::{
+    data_sharing_config, debit_credit_config, debit_credit_workload, DebitCreditStorage, LOG_UNIT,
+};
 
 use super::Simulation;
 use crate::config::SimulationConfig;
@@ -161,6 +163,108 @@ fn group_commit_batches_write_buffer_overflow_log_writes() {
     assert!(
         report.log_group_writes > 0,
         "overflow log writes were not batched"
+    );
+}
+
+#[test]
+fn single_node_report_carries_one_matching_node_entry() {
+    let config = quick_config(DebitCreditStorage::Disk, 50.0);
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+    assert_eq!(report.nodes.len(), 1);
+    let node = &report.nodes[0];
+    assert_eq!(node.node, 0);
+    assert_eq!(node.completed, report.completed);
+    assert_eq!(node.aborts, report.aborts);
+    assert!((node.throughput_tps - report.throughput_tps).abs() < 1e-9);
+    assert!((node.mean_response_ms - report.response_time.mean).abs() < 1e-9);
+    assert!((node.cpu_utilization - report.cpu_utilization).abs() < 1e-12);
+    assert!((node.avg_active_transactions - report.avg_active_transactions).abs() < 1e-9);
+    assert_eq!(node.buffer, report.buffer);
+    // A single node exchanges no lock messages and sees no invalidations.
+    assert_eq!(node.remote_lock_requests, 0);
+    assert_eq!(report.remote_lock_requests(), 0);
+    assert_eq!(report.invalidations(), 0);
+    assert_eq!(report.global_locks.messages, 0);
+    assert_eq!(report.global_locks.local_requests, report.locks.requests);
+}
+
+#[test]
+fn multi_node_run_shares_storage_and_scales_work_across_nodes() {
+    let mut config = data_sharing_config(4, 200.0);
+    config.warmup_ms = 500.0;
+    config.measure_ms = 4_000.0;
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+    assert_eq!(report.nodes.len(), 4);
+    // Round-robin assignment spreads the load: every node completes work.
+    for node in &report.nodes {
+        assert!(node.completed > 0, "node {} completed nothing", node.node);
+    }
+    assert_eq!(
+        report.nodes.iter().map(|n| n.completed).sum::<u64>(),
+        report.completed
+    );
+    // Nodes 1..3 pay remote lock messages; node 0 hosts the lock service.
+    assert_eq!(report.nodes[0].remote_lock_requests, 0);
+    for node in &report.nodes[1..] {
+        assert!(node.remote_lock_requests > 0, "node {}", node.node);
+    }
+    assert_eq!(
+        report.global_locks.remote_requests,
+        report.nodes.iter().map(|n| n.remote_lock_requests).sum()
+    );
+    assert_eq!(
+        report.global_locks.messages,
+        2 * report.global_locks.remote_requests
+    );
+    // The hot BRANCH/TELLER pages are written on every node, so commits must
+    // invalidate stale copies in the other nodes' pools.
+    assert!(report.invalidations() > 0);
+    // The aggregate buffer statistics sum the per-node pools.
+    assert_eq!(
+        report.buffer.references(),
+        report
+            .nodes
+            .iter()
+            .map(|n| n.buffer.references())
+            .sum::<u64>()
+    );
+}
+
+#[test]
+fn multi_node_same_seed_same_report() {
+    let make = || {
+        let mut c = data_sharing_config(3, 150.0);
+        c.warmup_ms = 300.0;
+        c.measure_ms = 2_000.0;
+        c
+    };
+    let a = Simulation::new(make(), debit_credit_workload(100)).run();
+    let b = Simulation::new(make(), debit_credit_workload(100)).run();
+    assert_eq!(a, b);
+    assert_eq!(a.nodes.len(), 3);
+}
+
+#[test]
+fn shared_log_disk_and_lock_messages_cap_multi_node_scaling() {
+    // 4 nodes at 4× the per-node rate: the CPU complex scales linearly but
+    // the single shared log disk (~200 TPS ceiling) does not, so throughput
+    // stays well below the offered 400 TPS while a 4-log-disk baseline keeps
+    // up.  This is the data-sharing analogue of Fig. 4.1's log bottleneck.
+    let sharing = {
+        let mut c = data_sharing_config(4, 400.0);
+        c.warmup_ms = 500.0;
+        c.measure_ms = 3_000.0;
+        Simulation::new(c, debit_credit_workload(100)).run()
+    };
+    assert!(
+        sharing.devices[LOG_UNIT].disk_utilization > 0.9,
+        "shared log disk utilization {}",
+        sharing.devices[LOG_UNIT].disk_utilization
+    );
+    assert!(
+        sharing.throughput_tps < 300.0,
+        "throughput {} should be capped by the shared log disk",
+        sharing.throughput_tps
     );
 }
 

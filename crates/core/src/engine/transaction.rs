@@ -33,6 +33,9 @@ pub(crate) enum MicroOp {
     },
     /// Request the lock for object reference `ref_idx`.
     Lock { ref_idx: usize },
+    /// Pure delay of `ms` (the message round trip of a remote request to the
+    /// global lock service in a data-sharing configuration).
+    RemoteDelay { ms: SimTime },
     /// Write the commit log record (resolved against the log allocation).
     LogWrite,
     /// Join the open group-commit batch for log device `unit` and block
@@ -67,6 +70,8 @@ pub(crate) enum TxState {
     WaitingLock,
     /// Waiting for a synchronous I/O to complete.
     WaitingIo,
+    /// Waiting for a message round trip to the global lock service.
+    WaitingMessage,
 }
 
 /// The dynamic state of one active transaction.
@@ -74,6 +79,8 @@ pub(crate) enum TxState {
 pub(crate) struct Transaction {
     /// Globally unique transaction identifier (used by the lock manager).
     pub id: u64,
+    /// The computing module (node) the transaction runs on.
+    pub node: usize,
     /// The transaction's reference string.
     pub template: TransactionTemplate,
     /// Arrival time at the SOURCE (response time is measured from here).
@@ -90,15 +97,19 @@ pub(crate) struct Transaction {
     pub pending_burst_nvem: bool,
     /// Object reference index whose lock request is outstanding.
     pub pending_lock_ref: Option<usize>,
+    /// The message round trip for the current lock request was already paid
+    /// (so a re-executed [`MicroOp::Lock`] does not pay it twice).
+    pub lock_msg_paid: bool,
     /// Number of deadlock-induced restarts.
     pub restarts: u32,
 }
 
 impl Transaction {
-    /// Creates a freshly arrived transaction.
-    pub fn new(id: u64, template: TransactionTemplate, arrival: SimTime) -> Self {
+    /// Creates a freshly arrived transaction on `node`.
+    pub fn new(id: u64, node: usize, template: TransactionTemplate, arrival: SimTime) -> Self {
         Self {
             id,
+            node,
             template,
             arrival,
             phase: TxPhase::BeforeAccess { next_ref: 0 },
@@ -107,6 +118,7 @@ impl Transaction {
             pending_burst: 0.0,
             pending_burst_nvem: false,
             pending_lock_ref: None,
+            lock_msg_paid: false,
             restarts: 0,
         }
     }
@@ -119,6 +131,7 @@ impl Transaction {
         self.micro.clear();
         self.state = TxState::Ready;
         self.pending_lock_ref = None;
+        self.lock_msg_paid = false;
         self.restarts += 1;
     }
 
@@ -180,13 +193,13 @@ mod tests {
 
     #[test]
     fn written_pages_are_distinct() {
-        let tx = Transaction::new(1, template(), 0.0);
+        let tx = Transaction::new(1, 0, template(), 0.0);
         assert_eq!(tx.written_pages(), vec![(0, PageId(1))]);
     }
 
     #[test]
     fn restart_resets_progress_but_keeps_arrival() {
-        let mut tx = Transaction::new(1, template(), 42.0);
+        let mut tx = Transaction::new(1, 0, template(), 42.0);
         tx.phase = TxPhase::Committing;
         tx.micro.push_back(MicroOp::Complete);
         tx.pending_lock_ref = Some(2);
@@ -201,7 +214,7 @@ mod tests {
 
     #[test]
     fn push_ops_front_preserves_order() {
-        let mut tx = Transaction::new(1, template(), 0.0);
+        let mut tx = Transaction::new(1, 0, template(), 0.0);
         tx.micro.push_back(MicroOp::Complete);
         tx.push_ops_front(vec![
             MicroOp::CpuBurst {

@@ -40,9 +40,9 @@ pub mod metrics;
 pub mod presets;
 pub mod tables;
 
-pub use config::{CmParams, LogAllocation, SimulationConfig};
+pub use config::{CmParams, LogAllocation, NodeParams, SimulationConfig};
 pub use engine::Simulation;
-pub use metrics::{DeviceReport, ResponseTimeStats, SimulationReport};
+pub use metrics::{DeviceReport, NodeReport, ResponseTimeStats, SimulationReport};
 
 // Re-export the substrate crates so downstream users need only one dependency.
 pub use bufmgr;

@@ -5,7 +5,7 @@
 //! (§4); this module is the equivalent report.
 
 use bufmgr::BufferStats;
-use lockmgr::LockManagerStats;
+use lockmgr::{GlobalLockStats, LockManagerStats};
 use simkernel::time::SimTime;
 use storage::DiskUnitStats;
 
@@ -57,6 +57,38 @@ pub struct DeviceReport {
     pub stats: DiskUnitStats,
 }
 
+/// Per-node (computing module) report of a data-sharing run.
+///
+/// A single-node run has exactly one entry whose values coincide with the
+/// aggregate fields of [`SimulationReport`]; a multi-node run has one entry
+/// per computing module, and the aggregate fields sum (counters) or average
+/// (utilizations, response times) over them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Node id (0-based; node 0 hosts the global lock service).
+    pub node: usize,
+    /// Transactions completed on this node during the measurement interval.
+    pub completed: u64,
+    /// Deadlock aborts of transactions running on this node.
+    pub aborts: u64,
+    /// Throughput achieved by this node (TPS).
+    pub throughput_tps: f64,
+    /// Mean response time of this node's transactions (ms).
+    pub mean_response_ms: f64,
+    /// Average utilization of this node's CPU servers (0..=1).
+    pub cpu_utilization: f64,
+    /// Time-average number of transactions active on this node.
+    pub avg_active_transactions: f64,
+    /// Time-average number of transactions waiting in this node's input queue.
+    pub avg_input_queue: f64,
+    /// Lock requests this node sent to the remote global lock service (0 on
+    /// the service's home node).
+    pub remote_lock_requests: u64,
+    /// This node's buffer-manager statistics (including invalidations
+    /// received from other nodes' commits).
+    pub buffer: BufferStats,
+}
+
 /// Per-transaction-type response-time summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TxTypeReport {
@@ -98,12 +130,18 @@ pub struct SimulationReport {
     /// Time-average number of transactions waiting in the input queue (MPL
     /// exceeded).
     pub avg_input_queue: f64,
-    /// Buffer-manager statistics (hit ratios, evictions, migrations).
+    /// Buffer-manager statistics aggregated over all nodes (hit ratios,
+    /// evictions, migrations, invalidations).
     pub buffer: BufferStats,
-    /// Lock-manager statistics (conflicts, deadlocks).
+    /// Statistics of the (global) lock table (conflicts, deadlocks).
     pub locks: LockManagerStats,
+    /// Global-lock-service statistics (local/remote request split, messages).
+    pub global_locks: GlobalLockStats,
     /// Per-storage-device reports (one per configured [`storage::DeviceSpec`]).
     pub devices: Vec<DeviceReport>,
+    /// Per-node breakdown (one entry per computing module; a single-node run
+    /// has one entry mirroring the aggregate fields).
+    pub nodes: Vec<NodeReport>,
 }
 
 impl SimulationReport {
@@ -123,6 +161,18 @@ impl SimulationReport {
             .get(unit)
             .map(|u| u.stats.read_hit_ratio())
             .unwrap_or(0.0)
+    }
+
+    /// Total lock requests sent to the global lock service from remote nodes
+    /// (0 in a single-node run).
+    pub fn remote_lock_requests(&self) -> u64 {
+        self.global_locks.remote_requests
+    }
+
+    /// Total buffered copies invalidated by other nodes' commits (0 in a
+    /// single-node run).
+    pub fn invalidations(&self) -> u64 {
+        self.buffer.invalidations
     }
 
     /// Lock conflict probability per lock request.
@@ -193,6 +243,8 @@ mod tests {
                 deadlocks: 2,
                 releases: 198,
             },
+            global_locks: GlobalLockStats::default(),
+            nodes: Vec::new(),
             devices: vec![DeviceReport {
                 name: "db".into(),
                 disk_utilization: 0.4,

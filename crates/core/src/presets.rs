@@ -11,6 +11,10 @@
 //! * Fig. 4.6 / 4.7 — [`trace_config`] with the [`TraceStorage`] variants;
 //! * Fig. 4.8 — [`contention_config`] with the [`ContentionAllocation`]
 //!   variants and both lock granularities.
+//!
+//! Beyond the paper, [`data_sharing_config`] builds the multi-node
+//! data-sharing topology (N computing modules, shared storage complex, global
+//! lock service) swept by the `fig5_x_node_scaling` bench.
 
 #[cfg(test)]
 use bufmgr::PageLocation;
@@ -23,7 +27,7 @@ use lockmgr::CcMode;
 use simkernel::SimRng;
 use storage::{DeviceSpec, DiskUnitKind, DiskUnitParams, NvemParams};
 
-use crate::config::{CmParams, LogAllocation, SimulationConfig};
+use crate::config::{CmParams, LogAllocation, NodeParams, SimulationConfig};
 
 /// Index of the database disk unit in every preset that uses disks.
 pub const DB_UNIT: usize = 0;
@@ -173,6 +177,7 @@ pub fn debit_credit_config(storage: DebitCreditStorage, arrival_rate_tps: f64) -
     };
     SimulationConfig {
         cm: CmParams::default(),
+        nodes: NodeParams::default(),
         nvem: NvemParams::default(),
         devices,
         log_allocation,
@@ -248,6 +253,31 @@ pub fn log_allocation_config(variant: LogVariant, arrival_rate_tps: f64) -> Simu
 pub fn nvem_log_device_config(arrival_rate_tps: f64) -> SimulationConfig {
     let mut config = debit_credit_config(DebitCreditStorage::Disk, arrival_rate_tps);
     config.devices[LOG_UNIT] = storage::NvemDeviceParams::default().into();
+    config
+}
+
+/// Data-sharing configuration: `num_nodes` computing modules — each with the
+/// full CM complex of Table 4.1 — share one disk-resident Debit-Credit
+/// database and a *single* shared log disk (the Fig. 4.1 bottleneck device).
+/// `arrival_rate_tps` is the total rate over all nodes; arrivals are assigned
+/// round robin.
+///
+/// Concurrency control is the global lock service on node 0: every lock
+/// request from another node pays a message round trip
+/// (`nodes.remote_lock_delay_ms`), and a node's committed updates invalidate
+/// stale buffer copies on the other nodes.  With `num_nodes == 1` this is
+/// exactly `debit_credit_config(DebitCreditStorage::Disk, …)` with a
+/// single-disk log — the paper's centralized system.
+///
+/// The interesting regime is `arrival_rate_tps` above the ~200 TPS ceiling of
+/// one log disk: adding nodes then scales the CPU complex linearly but
+/// throughput sub-linearly, because all nodes queue at the shared log device
+/// and pay remote lock messages (`fig5_x_node_scaling` sweeps this).
+pub fn data_sharing_config(num_nodes: usize, arrival_rate_tps: f64) -> SimulationConfig {
+    let mut config = debit_credit_config(DebitCreditStorage::Disk, arrival_rate_tps);
+    config.nodes = NodeParams::data_sharing(num_nodes);
+    // One shared log disk so log traffic, not CPU capacity, caps scaling.
+    config.devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::Regular, 1, 1);
     config
 }
 
@@ -417,6 +447,7 @@ pub fn trace_config(
             mpl: 400,
             ..CmParams::default()
         },
+        nodes: NodeParams::default(),
         nvem: NvemParams::default(),
         devices,
         log_allocation,
@@ -495,6 +526,7 @@ pub fn contention_config(
     };
     SimulationConfig {
         cm: CmParams::default(),
+        nodes: NodeParams::default(),
         nvem: NvemParams::default(),
         devices: vec![
             db_disk_unit(DiskUnitKind::Regular, 1),
@@ -615,6 +647,23 @@ mod tests {
             c.buffer.partitions[1].location,
             PageLocation::DiskUnit(DB_UNIT)
         );
+    }
+
+    #[test]
+    fn data_sharing_presets_validate() {
+        for n in [1, 2, 4, 8] {
+            let c = data_sharing_config(n, 300.0);
+            assert!(c.validate().is_ok(), "{n} nodes: {:?}", c.validate());
+            assert_eq!(c.nodes.num_nodes, n);
+            assert!(c.nodes.remote_lock_delay_ms > 0.0);
+            assert_eq!(c.devices[LOG_UNIT].disk().num_disks, 1);
+        }
+        // A single node is the centralized single-log-disk system.
+        let single = data_sharing_config(1, 300.0);
+        let mut reference = debit_credit_config(DebitCreditStorage::Disk, 300.0);
+        reference.devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::Regular, 1, 1);
+        reference.nodes = NodeParams::data_sharing(1);
+        assert_eq!(single, reference);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! factors), the synthetic workload model (transaction types, relative
 //! reference matrix, sequential/non-sequential and fixed/variable-size
 //! transactions), the Debit-Credit workload generator of the TP benchmark
-//! [An85], and the trace-driven workload generator (with a synthetic trace
+//! (Anon85), and the trace-driven workload generator (with a synthetic trace
 //! generator standing in for the unavailable real-life trace).
 //!
 //! Workload generators produce [`TransactionTemplate`]s: the complete, ordered

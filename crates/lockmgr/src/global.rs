@@ -1,0 +1,237 @@
+//! The global lock service of the data-sharing configuration.
+//!
+//! When several computing modules (nodes) share the database (Rahm's
+//! data-sharing architecture), concurrency control must be global: all nodes
+//! synchronize their accesses through one logically centralized lock table.
+//! This module models that service as a [`GlobalLockTable`] (the plain
+//! [`LockManager`] acting as the shared table) fronted by a configurable
+//! *message delay*: a lock request from a node other than the service's home
+//! node pays a round-trip communication cost before the table answers, while
+//! requests from the home node are served locally for free.
+//!
+//! Like the rest of the crate the service is a pure data structure — it never
+//! advances simulated time.  The transaction system asks
+//! [`GlobalLockService::remote_round_trip`] for the delay it must simulate
+//! before submitting the request, then calls
+//! [`GlobalLockService::acquire`] exactly once per lock request.
+//! Lock releases are modelled as asynchronous messages (the committing
+//! transaction does not wait for them), matching the usual treatment in
+//! data-sharing performance models.
+
+use dbmodel::ObjectRef;
+
+use crate::manager::{CcMode, LockManager, LockManagerStats, LockOutcome};
+use crate::table::TxId;
+
+/// The shared global lock table: one [`LockManager`] that every node's lock
+/// requests are routed to.  The alias documents the role the plain manager
+/// plays inside [`GlobalLockService`].
+pub type GlobalLockTable = LockManager;
+
+/// Counters specific to the global lock service (on top of the table's own
+/// [`LockManagerStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GlobalLockStats {
+    /// Lock requests issued by the home node (no messages needed).
+    pub local_requests: u64,
+    /// Lock requests issued by other nodes (each exchanges a message round
+    /// trip with the service; the *charged* delay may be zero).
+    pub remote_requests: u64,
+    /// Messages exchanged with remote nodes (2 per remote request, counted
+    /// even when the configured delay is zero).
+    pub messages: u64,
+    /// Total simulated communication delay charged to remote requests (ms).
+    pub total_message_delay_ms: f64,
+}
+
+/// A globally shared lock table fronted by a per-request message delay.
+#[derive(Debug)]
+pub struct GlobalLockService {
+    table: GlobalLockTable,
+    home_node: usize,
+    message_delay_ms: f64,
+    stats: GlobalLockStats,
+}
+
+impl GlobalLockService {
+    /// Creates a global lock service with the given per-partition CC modes,
+    /// hosted on `home_node`, charging `message_delay_ms` per one-way message
+    /// to every other node.
+    pub fn new(modes: Vec<CcMode>, home_node: usize, message_delay_ms: f64) -> Self {
+        Self {
+            table: GlobalLockTable::new(modes),
+            home_node,
+            message_delay_ms: message_delay_ms.max(0.0),
+            stats: GlobalLockStats::default(),
+        }
+    }
+
+    /// A degenerate single-node service: every request is local, no messages
+    /// are ever exchanged.  Behaves exactly like a plain [`LockManager`].
+    pub fn single_node(modes: Vec<CcMode>) -> Self {
+        Self::new(modes, 0, 0.0)
+    }
+
+    /// The node hosting the service.
+    pub fn home_node(&self) -> usize {
+        self.home_node
+    }
+
+    /// The configured one-way message delay (ms).
+    pub fn message_delay_ms(&self) -> f64 {
+        self.message_delay_ms
+    }
+
+    /// True if the object reference needs a lock at all (its partition is
+    /// subject to concurrency control).  References that need no lock also
+    /// exchange no messages.
+    pub fn needs_lock(&self, r: &ObjectRef) -> bool {
+        self.table.request_for(r).item.is_some()
+    }
+
+    /// The round-trip communication delay (ms) a lock request from `node`
+    /// must simulate before calling [`GlobalLockService::acquire`], or `None`
+    /// when the request is local (home node, or a zero configured delay).
+    pub fn remote_round_trip(&self, node: usize) -> Option<f64> {
+        (node != self.home_node && self.message_delay_ms > 0.0)
+            .then_some(2.0 * self.message_delay_ms)
+    }
+
+    /// Requests the lock needed for object reference `r` on behalf of `tx`
+    /// running on `node`.  The caller must already have simulated the
+    /// [`GlobalLockService::remote_round_trip`] delay, if any.
+    pub fn acquire(&mut self, node: usize, tx: TxId, r: &ObjectRef) -> LockOutcome {
+        if self.needs_lock(r) {
+            if node == self.home_node {
+                self.stats.local_requests += 1;
+            } else {
+                self.stats.remote_requests += 1;
+                self.stats.messages += 2;
+                self.stats.total_message_delay_ms += 2.0 * self.message_delay_ms;
+            }
+        }
+        self.table.acquire(tx, r)
+    }
+
+    /// Releases all locks of `tx` (commit phase 2).  Returns the transactions
+    /// whose queued requests became granted.
+    pub fn release_all(&mut self, tx: TxId) -> Vec<TxId> {
+        self.table.release_all(tx)
+    }
+
+    /// Aborts `tx`: cancels a pending wait and releases all held locks.
+    pub fn abort(&mut self, tx: TxId) -> Vec<TxId> {
+        self.table.abort(tx)
+    }
+
+    /// The shared table's statistics (requests, conflicts, deadlocks).
+    pub fn stats(&self) -> LockManagerStats {
+        self.table.stats()
+    }
+
+    /// The service-level statistics (local/remote split, messages).
+    pub fn global_stats(&self) -> GlobalLockStats {
+        self.stats
+    }
+
+    /// Resets both the table and the service statistics (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        self.table.reset_stats();
+        self.stats = GlobalLockStats::default();
+    }
+
+    /// Read access to the underlying shared table.
+    pub fn table(&self) -> &GlobalLockTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::{AccessMode, ObjectId, PageId};
+
+    fn obj_ref(partition: usize, page: u64, write: bool) -> ObjectRef {
+        ObjectRef {
+            partition,
+            page: PageId(page),
+            object: ObjectId(page * 10),
+            mode: if write {
+                AccessMode::Write
+            } else {
+                AccessMode::Read
+            },
+        }
+    }
+
+    fn service() -> GlobalLockService {
+        GlobalLockService::new(vec![CcMode::Page, CcMode::None], 0, 0.25)
+    }
+
+    #[test]
+    fn home_node_requests_are_local_and_free() {
+        let mut s = service();
+        assert_eq!(s.remote_round_trip(0), None);
+        assert_eq!(s.acquire(0, 1, &obj_ref(0, 1, true)), LockOutcome::Granted);
+        assert_eq!(s.global_stats().local_requests, 1);
+        assert_eq!(s.global_stats().remote_requests, 0);
+        assert_eq!(s.global_stats().messages, 0);
+    }
+
+    #[test]
+    fn remote_requests_pay_a_round_trip_and_are_counted() {
+        let mut s = service();
+        assert_eq!(s.remote_round_trip(3), Some(0.5));
+        assert_eq!(s.acquire(3, 1, &obj_ref(0, 1, true)), LockOutcome::Granted);
+        let g = s.global_stats();
+        assert_eq!(g.remote_requests, 1);
+        assert_eq!(g.messages, 2);
+        assert!((g.total_message_delay_ms - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_cc_partitions_need_no_lock_and_no_messages() {
+        let mut s = service();
+        assert!(!s.needs_lock(&obj_ref(1, 7, true)));
+        assert_eq!(s.acquire(5, 1, &obj_ref(1, 7, true)), LockOutcome::Granted);
+        assert_eq!(s.global_stats(), GlobalLockStats::default());
+        assert_eq!(s.stats().requests, 0);
+    }
+
+    #[test]
+    fn conflicts_cross_nodes_through_the_shared_table() {
+        let mut s = service();
+        assert_eq!(s.acquire(0, 1, &obj_ref(0, 9, true)), LockOutcome::Granted);
+        // A transaction on another node conflicts on the same page.
+        assert_eq!(s.acquire(1, 2, &obj_ref(0, 9, true)), LockOutcome::Blocked);
+        assert_eq!(s.stats().conflicts, 1);
+        let woken = s.release_all(1);
+        assert_eq!(woken, vec![2]);
+        assert!(s.abort(2).is_empty());
+    }
+
+    #[test]
+    fn single_node_service_never_charges_messages() {
+        let mut s = GlobalLockService::single_node(vec![CcMode::Page]);
+        assert_eq!(s.remote_round_trip(0), None);
+        assert_eq!(s.remote_round_trip(4), None);
+        s.acquire(4, 1, &obj_ref(0, 1, true));
+        // Node 4 is "remote" but the delay is zero; the split is still kept.
+        assert_eq!(s.global_stats().remote_requests, 1);
+        assert_eq!(s.global_stats().total_message_delay_ms, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_both_stat_sets() {
+        let mut s = service();
+        s.acquire(1, 1, &obj_ref(0, 1, true));
+        s.reset_stats();
+        assert_eq!(s.global_stats(), GlobalLockStats::default());
+        assert_eq!(s.stats(), LockManagerStats::default());
+        assert_eq!(s.home_node(), 0);
+        assert!((s.message_delay_ms() - 0.25).abs() < 1e-12);
+        // Held locks survive a stats reset: tx 1 still blocks a conflicting
+        // request through the shared table.
+        assert_eq!(s.acquire(0, 2, &obj_ref(0, 1, true)), LockOutcome::Blocked);
+    }
+}

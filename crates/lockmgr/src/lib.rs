@@ -10,9 +10,17 @@
 //! returned [`LockOutcome`]s (granted → continue, queued → block the
 //! transaction, deadlock → abort and restart).
 
+//!
+//! For data-sharing configurations (several computing modules against one
+//! storage complex) the [`global`] module wraps the same table in a
+//! [`GlobalLockService`]: one shared [`GlobalLockTable`] plus a configurable
+//! message delay per remote lock request.
+
 pub mod deadlock;
+pub mod global;
 pub mod manager;
 pub mod table;
 
+pub use global::{GlobalLockService, GlobalLockStats, GlobalLockTable};
 pub use manager::{CcMode, LockManager, LockManagerStats, LockOutcome, LockRequest};
 pub use table::{LockMode, LockableId, TxId};

@@ -44,7 +44,7 @@ impl NvemParams {
 }
 
 /// Parameters of NVEM accessed through a *server interface* — the
-/// [`StorageDevice`] flavour of extended memory, used when a configuration
+/// [`StorageDevice`](crate::device::StorageDevice) flavour of extended memory, used when a configuration
 /// allocates a whole device slot (e.g. the log) to NVEM instead of modelling
 /// the access as a synchronous CPU instruction.
 ///

@@ -1,0 +1,249 @@
+//! Paper-shape regression suite: qualitative golden assertions for the
+//! headline orderings of the paper's evaluation, so a refactor cannot
+//! silently invert a figure.
+//!
+//! The shape tests are `#[ignore]`d because each one runs several complete
+//! simulations; CI executes them in release mode via
+//! `cargo test --release -- --ignored`.  Run them locally with
+//!
+//! ```bash
+//! cargo test --release --test paper_shape -- --ignored
+//! ```
+//!
+//! The non-ignored tests are the cheap determinism guarantees of the
+//! multi-node (data-sharing) dimension.
+
+use tpsim::presets::{
+    self, caching_config, data_sharing_config, debit_credit_config, debit_credit_workload,
+    log_allocation_config, DebitCreditStorage, LogVariant, SecondLevel, LOG_UNIT,
+};
+use tpsim::{LogAllocation, Simulation, SimulationConfig, SimulationReport};
+use tpsim_bench::runner::{data_sharing_point, run_sweep, Family, RunSettings};
+
+/// Shortens a configuration to test-friendly simulated durations and runs it
+/// against the scaled-down Debit-Credit database.
+fn run_debit_credit_quickly(mut config: SimulationConfig) -> SimulationReport {
+    config.warmup_ms = 1_000.0;
+    config.measure_ms = 6_000.0;
+    Simulation::new(config, debit_credit_workload(100)).run()
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the multi-node dimension (cheap, always run)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn multi_node_engine_is_deterministic_for_fixed_seed() {
+    let make = || {
+        let mut c = data_sharing_config(3, 120.0);
+        c.warmup_ms = 300.0;
+        c.measure_ms = 1_500.0;
+        c
+    };
+    let a = Simulation::new(make(), debit_credit_workload(200)).run();
+    let b = Simulation::new(make(), debit_credit_workload(200)).run();
+    assert_eq!(a, b, "same seed must reproduce the full multi-node report");
+    assert_eq!(a.nodes.len(), 3);
+    assert!(a.completed > 0);
+}
+
+#[test]
+fn multi_node_sweep_is_byte_identical_in_parallel_and_serial() {
+    // PR 1 guaranteed parallel == serial for single-node sweeps; the node
+    // count is one more sweep dimension and must preserve the guarantee.
+    let mk_points = || {
+        [1usize, 2, 4, 8]
+            .iter()
+            .map(|&n| {
+                (
+                    format!("{n}-node"),
+                    n as f64,
+                    data_sharing_point(n, 50.0),
+                    Family::DebitCredit,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut settings = RunSettings::quick();
+    settings.parallel = false;
+    let serial = run_sweep(&settings, mk_points());
+    settings.parallel = true;
+    settings.threads = 4;
+    let parallel = run_sweep(&settings, mk_points());
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(s.series, p.series);
+        assert_eq!(s.report, p.report, "series {} diverged", s.series);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4.1 — log allocation ordering (slow, release CI job)
+// ---------------------------------------------------------------------------
+
+#[test]
+#[ignore = "paper-shape suite: run with --release -- --ignored"]
+fn fig4_1_log_allocation_throughput_ordering() {
+    // At 300 TPS a single log disk (~5 ms per log write) saturates, so the
+    // four log allocations must order as in Fig. 4.1:
+    //     NVEM log >= NVEM-write-buffer log >= disk-cache log >= disk log.
+    let rate = 300.0;
+    let nvem = run_debit_credit_quickly(log_allocation_config(LogVariant::Nvem, rate));
+    let write_buffer = {
+        let mut c = log_allocation_config(LogVariant::SingleDisk, rate);
+        c.log_allocation = LogAllocation::DiskUnitViaNvemWriteBuffer(LOG_UNIT);
+        c.buffer.nvem_write_buffer_pages = 500;
+        run_debit_credit_quickly(c)
+    };
+    let disk_cache =
+        run_debit_credit_quickly(log_allocation_config(LogVariant::SingleDiskNvCache, rate));
+    let disk = run_debit_credit_quickly(log_allocation_config(LogVariant::SingleDisk, rate));
+
+    // The three fast variants all avoid the synchronous disk write and may be
+    // near-identical, so allow 2% noise on the >= comparisons between them;
+    // the gap to the saturated plain-disk log must be large.
+    let t = |r: &SimulationReport| r.throughput_tps;
+    assert!(
+        t(&nvem) >= 0.98 * t(&write_buffer),
+        "NVEM log {} vs write-buffer log {}",
+        t(&nvem),
+        t(&write_buffer)
+    );
+    assert!(
+        t(&write_buffer) >= 0.98 * t(&disk_cache),
+        "write-buffer log {} vs disk-cache log {}",
+        t(&write_buffer),
+        t(&disk_cache)
+    );
+    assert!(
+        t(&disk_cache) >= 0.98 * t(&disk),
+        "disk-cache log {} vs disk log {}",
+        t(&disk_cache),
+        t(&disk)
+    );
+    assert!(
+        t(&nvem) > 1.2 * t(&disk),
+        "NVEM log {} should clearly beat the saturated disk log {}",
+        t(&nvem),
+        t(&disk)
+    );
+    assert!(
+        disk.devices[LOG_UNIT].disk_utilization > 0.9,
+        "the plain disk log should be saturated, got {}",
+        disk.devices[LOG_UNIT].disk_utilization
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4.3 — NOFORCE vs FORCE (slow, release CI job)
+// ---------------------------------------------------------------------------
+
+#[test]
+#[ignore = "paper-shape suite: run with --release -- --ignored"]
+fn fig4_3_noforce_dominates_force_on_disk_resident_databases() {
+    // FORCE writes every modified page synchronously at commit; on a
+    // disk-resident database that inflates both the commit path and the disk
+    // write load, so NOFORCE must deliver at least the throughput of FORCE
+    // and strictly better response times (Fig. 4.3).
+    let rate = 200.0;
+    let noforce = run_debit_credit_quickly(debit_credit_config(DebitCreditStorage::Disk, rate));
+    let force = {
+        let mut c = debit_credit_config(DebitCreditStorage::Disk, rate);
+        c.buffer.update_strategy = bufmgr::UpdateStrategy::Force;
+        run_debit_credit_quickly(c)
+    };
+    assert!(force.buffer.forced_pages > 0, "FORCE never forced a page");
+    assert!(
+        noforce.throughput_tps >= 0.98 * force.throughput_tps,
+        "NOFORCE {} vs FORCE {} TPS",
+        noforce.throughput_tps,
+        force.throughput_tps
+    );
+    assert!(
+        noforce.response_time.mean < force.response_time.mean,
+        "NOFORCE {} ms vs FORCE {} ms",
+        noforce.response_time.mean,
+        force.response_time.mean
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Table 4.2 — second-level cache hit ratios (slow, release CI job)
+// ---------------------------------------------------------------------------
+
+#[test]
+#[ignore = "paper-shape suite: run with --release -- --ignored"]
+fn table4_2_second_level_cache_raises_total_hit_ratio() {
+    // With a small main-memory buffer, adding a second-level NVEM cache must
+    // raise the combined hit ratio above main-memory-only caching
+    // (Table 4.2), without lowering the main-memory hit ratio's contribution
+    // to it.
+    let rate = 200.0;
+    let mm_pages = 250;
+    let mm_only =
+        run_debit_credit_quickly(caching_config(mm_pages, SecondLevel::None, false, rate));
+    let with_nvem = run_debit_credit_quickly(caching_config(
+        mm_pages,
+        SecondLevel::NvemCache(2_000),
+        false,
+        rate,
+    ));
+    assert!(
+        with_nvem.nvem_hit_ratio() > 0.0,
+        "the second-level cache never hit"
+    );
+    let combined_mm_only = mm_only.buffer.combined_hit_ratio();
+    let combined_with_nvem = with_nvem.buffer.combined_hit_ratio();
+    assert!(
+        combined_with_nvem > combined_mm_only + 0.01,
+        "combined hit ratio {} (with NVEM cache) vs {} (MM only)",
+        combined_with_nvem,
+        combined_mm_only
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5.x — multi-node scaling shape (slow, release CI job)
+// ---------------------------------------------------------------------------
+
+#[test]
+#[ignore = "paper-shape suite: run with --release -- --ignored"]
+fn fig5_x_multi_node_throughput_scales_sublinearly() {
+    // Same per-node offered rate at 1/2/4/8 nodes; the shared single log
+    // disk and the global lock service keep the speedup below linear once
+    // the aggregate load crosses the log disk's ceiling.
+    let per_node_rate = 60.0;
+    let run = |n: usize| {
+        let mut c = data_sharing_config(n, per_node_rate * n as f64);
+        c.warmup_ms = 1_000.0;
+        c.measure_ms = 6_000.0;
+        Simulation::new(c, debit_credit_workload(100)).run()
+    };
+    let one = run(1);
+    let four = run(4);
+    let eight = run(8);
+    assert!(one.completed > 0 && four.completed > 0 && eight.completed > 0);
+    // 1 node at 60 TPS is uncongested; 8 nodes offer 480 TPS against a
+    // ~200 TPS log disk, so the speedup must stay clearly below 8x.
+    let speedup = eight.throughput_tps / one.throughput_tps;
+    assert!(
+        speedup < 7.0,
+        "8-node speedup {speedup} should be sub-linear (shared log + lock messages)"
+    );
+    // The shared log disk is the visible bottleneck at 8 nodes.
+    assert!(
+        eight.devices[presets::LOG_UNIT].disk_utilization > 0.9,
+        "8-node log disk utilization {}",
+        eight.devices[presets::LOG_UNIT].disk_utilization
+    );
+    // Scaling from 4 to 8 nodes must not help much once the log saturates.
+    assert!(
+        eight.throughput_tps < 1.5 * four.throughput_tps,
+        "8 nodes {} vs 4 nodes {} TPS",
+        eight.throughput_tps,
+        four.throughput_tps
+    );
+    // And the data-sharing machinery is actually exercised.
+    assert!(eight.remote_lock_requests() > 0);
+    assert!(eight.invalidations() > 0);
+}
