@@ -83,6 +83,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "fig5.x",
             title: "Fig. 5.x: multi-node data-sharing scaling (beyond the paper)",
         },
+        Experiment {
+            id: "fig6.x",
+            title: "Fig. 6.x: restart time after a crash (beyond the paper)",
+        },
     ]
 }
 
@@ -105,6 +109,7 @@ pub fn run_experiment(id: &str, settings: &RunSettings) -> ExperimentResult {
         "fig4.7" => fig4_7(settings),
         "fig4.8" => fig4_8(settings),
         "fig5.x" => fig5_x(settings),
+        "fig6.x" => fig6_x(settings),
         _ => unreachable!(),
     };
     ExperimentResult { experiment, table }
@@ -707,6 +712,79 @@ fn fig5_x(settings: &RunSettings) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fig. 6.x — restart time after a crash (beyond the paper)
+// ---------------------------------------------------------------------------
+
+fn fig6_x(settings: &RunSettings) -> String {
+    // FORCE vs NOFORCE × disk- vs NVEM-resident log × checkpoint interval,
+    // all at the same moderate arrival rate (the eight-disk log unit keeps
+    // the log off the critical path, so throughput is equal across the
+    // variants and the restart column carries the trade-off).  Every point
+    // crashes at the same fraction of the measurement interval and replays
+    // its redo tail from the configured log placement.
+    let rate = settings.recovery_rate;
+    let intervals = [0.0, settings.measure_ms / 2.0, settings.measure_ms / 8.0];
+    let series = [
+        ("NOFORCE, disk-resident log", false, false),
+        ("NOFORCE, NVEM-resident log", false, true),
+        ("FORCE, disk-resident log", true, false),
+        ("FORCE, NVEM-resident log", true, true),
+    ];
+    let mut points = Vec::new();
+    for (label, force, nvem_log) in series {
+        for &interval in &intervals {
+            points.push((
+                label.to_string(),
+                interval,
+                runner::recovery_point(force, nvem_log, interval, rate),
+                Family::RecoveryCrash,
+            ));
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>10} {:>10} {:>12} {:>10} {:>10} {:>8} {:>12}",
+        "series (rate 1 ckpt/column)",
+        "ckpt [ms]",
+        "thru[TPS]",
+        "resp[ms]",
+        "restart[ms]",
+        "redo recs",
+        "log pages",
+        "ckpts",
+        "ovhd [ms]"
+    );
+    for p in &results {
+        let r = &p.report;
+        let rec = r.recovery.as_ref().expect("recovery report present");
+        let restart = rec.restart.as_ref().expect("restart report present");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.0} {:>10.1} {:>10.2} {:>12.1} {:>10} {:>10} {:>8} {:>12.2}",
+            p.series,
+            p.x,
+            r.throughput_tps,
+            r.response_time.mean,
+            restart.restart_ms,
+            restart.redo_records,
+            restart.log_pages_read,
+            rec.checkpoints_taken,
+            rec.checkpoint_overhead_ms,
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "(crash at {:.0} % of the measurement interval; ckpt 0 = checkpointing disabled,",
+        runner::CRASH_AT_FRACTION * 100.0
+    );
+    let _ = writeln!(out, " so redo reaches back to the start of the log)");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -716,11 +794,11 @@ mod tests {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for expected in [
             "table2.1", "table2.2", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "table4.2", "fig4.5",
-            "fig4.6", "fig4.7", "fig4.8", "fig5.x",
+            "fig4.6", "fig4.7", "fig4.8", "fig5.x", "fig6.x",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 13);
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct RunSettings {
     pub caching_rate: f64,
     /// Arrival rate used for the trace experiments.
     pub trace_rate: f64,
+    /// Arrival rate used for the restart-time experiment (moderate enough
+    /// that neither log variant saturates, so the variants reach equal
+    /// throughput and only restart time diverges).
+    pub recovery_rate: f64,
     /// Run the points of a sweep on multiple threads.
     pub parallel: bool,
     /// Worker threads for parallel sweeps (0 = one per available core).
@@ -48,6 +52,7 @@ impl RunSettings {
             rates: vec![10.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0],
             caching_rate: 500.0,
             trace_rate: 40.0,
+            recovery_rate: 150.0,
             parallel: true,
             threads: 0,
         }
@@ -65,6 +70,7 @@ impl RunSettings {
             rates: vec![10.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0],
             caching_rate: 500.0,
             trace_rate: 40.0,
+            recovery_rate: 150.0,
             parallel: true,
             threads: 0,
         }
@@ -80,6 +86,7 @@ impl RunSettings {
             rates: vec![50.0, 200.0, 500.0],
             caching_rate: 200.0,
             trace_rate: 25.0,
+            recovery_rate: 150.0,
             parallel: true,
             threads: 0,
         }
@@ -124,6 +131,23 @@ pub fn run_contention(settings: &RunSettings, config: SimulationConfig) -> Simul
     Simulation::new(config, presets::contention_workload()).run()
 }
 
+/// Where in the measurement interval the recovery experiments crash the
+/// system (fraction of `measure_ms` after the warm-up).  Late enough that a
+/// realistic redo distance accumulates, strictly before the end of the run.
+pub const CRASH_AT_FRACTION: f64 = 0.9;
+
+/// Runs one Debit-Credit point with a simulated crash at
+/// [`CRASH_AT_FRACTION`] of the measurement interval, producing a report
+/// with a restart section.
+pub fn run_recovery_crash(settings: &RunSettings, config: SimulationConfig) -> SimulationReport {
+    let config = settings.apply(config);
+    let crash_at = config.warmup_ms + CRASH_AT_FRACTION * config.measure_ms;
+    let workload = presets::debit_credit_workload(settings.debit_credit_scale);
+    Simulation::new(config, workload)
+        .simulate_crash_at(crash_at)
+        .run()
+}
+
 /// Which workload family a sweep point belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
@@ -133,6 +157,9 @@ pub enum Family {
     Trace,
     /// Synthetic contention workload (§4.7).
     Contention,
+    /// Debit-Credit with a simulated crash at [`CRASH_AT_FRACTION`] of the
+    /// measurement interval (the restart-time experiment, `fig6.x`).
+    RecoveryCrash,
 }
 
 /// Derives the RNG seed of sweep point `index` from the configuration's base
@@ -171,6 +198,7 @@ pub fn run_sweep(
             Family::DebitCredit => run_debit_credit(settings, config),
             Family::Trace => run_trace(settings, config),
             Family::Contention => run_contention(settings, config),
+            Family::RecoveryCrash => run_recovery_crash(settings, config),
         };
         SweepPoint { series, x, report }
     };
@@ -260,6 +288,17 @@ pub fn fig4_8_point(
 /// `per_node_rate` TPS per node.
 pub fn data_sharing_point(num_nodes: usize, per_node_rate: f64) -> SimulationConfig {
     presets::data_sharing_config(num_nodes, per_node_rate * num_nodes as f64)
+}
+
+/// Configuration of one restart-time point (`fig6_restart_time` / `fig6.x`):
+/// FORCE vs NOFORCE × disk- vs NVEM-resident log × checkpoint interval.
+pub fn recovery_point(
+    force: bool,
+    nvem_log: bool,
+    checkpoint_interval_ms: f64,
+    rate: f64,
+) -> SimulationConfig {
+    presets::recovery_config(force, nvem_log, checkpoint_interval_ms, rate)
 }
 
 #[cfg(test)]

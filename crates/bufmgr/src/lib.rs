@@ -10,9 +10,12 @@
 //!   in main memory (replication);
 //! * a **write buffer in NVEM** that absorbs page writes at NVEM speed and
 //!   updates the disk copy asynchronously;
-//! * the **FORCE / NOFORCE** update strategies; and
+//! * the **FORCE / NOFORCE** update strategies;
 //! * logging (one log page per update transaction, handled by the engine using
-//!   the configured log allocation).
+//!   the configured log allocation); and
+//! * a per-pool **dirty-page table** ([`dirty::DirtyPageTable`]) tracking
+//!   committed-but-unpropagated updates for the engine's crash-recovery
+//!   subsystem.
 //!
 //! Like the device models, the buffer manager is pure policy: every page
 //! reference returns the ordered list of [`ops::PageOp`]s the transaction must
@@ -21,11 +24,13 @@
 //! timing.
 
 pub mod config;
+pub mod dirty;
 pub mod manager;
 pub mod ops;
 pub mod stats;
 
 pub use config::{BufferConfig, PageLocation, PartitionPolicy, SecondLevelMode, UpdateStrategy};
+pub use dirty::{DirtyPageTable, RecLsn};
 pub use manager::BufferManager;
 pub use ops::{FetchOutcome, PageOp};
 pub use stats::{BufferStats, PartitionBufferStats};

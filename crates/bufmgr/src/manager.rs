@@ -9,6 +9,7 @@ use dbmodel::PageId;
 use storage::LruCache;
 
 use crate::config::{BufferConfig, PageLocation, UpdateStrategy};
+use crate::dirty::{DirtyPageTable, RecLsn};
 use crate::ops::{FetchOutcome, PageOp};
 use crate::stats::BufferStats;
 
@@ -35,6 +36,9 @@ pub struct BufferManager {
     mm: LruCache<PageId, FrameState>,
     nvem_cache: Option<LruCache<PageId, NvemEntry>>,
     write_buffer: Option<LruCache<PageId, u32>>,
+    /// Committed-but-unpropagated updates for crash recovery; fed by the
+    /// engine at commit, drained here whenever a page is propagated.
+    dirty_table: DirtyPageTable,
     stats: BufferStats,
 }
 
@@ -59,6 +63,7 @@ impl BufferManager {
             config,
             nvem_cache,
             write_buffer,
+            dirty_table: DirtyPageTable::new(),
             stats,
         }
     }
@@ -106,6 +111,29 @@ impl BufferManager {
     /// Number of pages in the NVEM write buffer.
     pub fn write_buffer_pages(&self) -> usize {
         self.write_buffer.as_ref().map(LruCache::len).unwrap_or(0)
+    }
+
+    /// The pool's dirty-page table: pages with committed-but-unpropagated
+    /// updates and their recovery LSNs (crash recovery).
+    pub fn dirty_page_table(&self) -> &DirtyPageTable {
+        &self.dirty_table
+    }
+
+    /// Records that a transaction committed an update to `page` of
+    /// `partition` under log sequence number `lsn`.  The page enters the
+    /// dirty-page table only while its committed content is volatile: a
+    /// main-memory-resident page always is, any other page only while its
+    /// main-memory frame is dirty (a page already written back, migrated to
+    /// NVEM or evicted has its committed content in non-volatile storage and
+    /// needs no redo).
+    pub fn note_committed_update(&mut self, partition: usize, page: PageId, lsn: RecLsn) {
+        let volatile = match self.config.policy(partition).location {
+            PageLocation::MainMemoryResident => true,
+            _ => self.mm.peek(&page).map(|f| f.dirty).unwrap_or(false),
+        };
+        if volatile {
+            self.dirty_table.note_committed_update(page, lsn);
+        }
     }
 
     /// References `page` of `partition` on behalf of a transaction, with
@@ -180,12 +208,16 @@ impl BufferManager {
                         page: vpage,
                         to_nvem: true,
                     });
+                    self.dirty_table.clear_page(vpage);
                 }
             }
             PageLocation::DiskUnit(unit) => {
                 let migrate =
                     self.nvem_cache.is_some() && vpolicy.nvem_cache.migrates(vstate.dirty);
                 if migrate {
+                    // The NVEM cache copy is non-volatile: committed updates
+                    // survive a crash from here on.
+                    self.dirty_table.clear_page(vpage);
                     ops.push(PageOp::NvemTransfer {
                         page: vpage,
                         to_nvem: true,
@@ -215,6 +247,10 @@ impl BufferManager {
         unit: usize,
         ops: &mut Vec<PageOp>,
     ) {
+        // Every path below propagates the page to non-volatile storage (the
+        // NVEM write buffer or the disk itself): committed updates to it no
+        // longer need redo.
+        self.dirty_table.clear_page(page);
         let use_wb = self.config.policy(partition).use_nvem_write_buffer;
         if use_wb {
             if let Some(wb) = self.write_buffer.as_mut() {
@@ -332,6 +368,7 @@ impl BufferManager {
             }
             PageLocation::NvemResident => {
                 if self.mark_clean_if_dirty(page) {
+                    self.dirty_table.clear_page(page);
                     ops.push(PageOp::NvemTransfer {
                         page,
                         to_nvem: true,
@@ -349,6 +386,7 @@ impl BufferManager {
                 if self.nvem_cache.is_some() && policy.nvem_cache.enabled() {
                     // FORCE writes the update to the NVEM cache; the page also
                     // stays buffered in main memory (replication, §3.2).
+                    self.dirty_table.clear_page(page);
                     ops.push(PageOp::NvemTransfer {
                         page,
                         to_nvem: true,
@@ -406,6 +444,9 @@ impl BufferManager {
     /// bookkeeping stays consistent: write-buffer frames always, and
     /// NVEM-cache entries while their pending count is non-zero.
     pub fn invalidate_page(&mut self, page: PageId) -> bool {
+        // Whatever this node committed to the page is superseded: the
+        // committing node now tracks the page in *its* dirty-page table.
+        self.dirty_table.clear_page(page);
         let mut dropped = self.mm.remove(&page).is_some();
         if let Some(cache) = self.nvem_cache.as_mut() {
             if cache.peek(&page).is_some_and(|e| e.pending == 0) {
@@ -817,6 +858,75 @@ mod tests {
         assert!(bm.invalidate_page(PageId(1)));
         assert!(!bm.nvem_contains(PageId(1)));
         assert_eq!(bm.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn dirty_table_tracks_committed_updates_until_writeback() {
+        let mut bm = BufferManager::new(disk_config(2));
+        bm.reference_page(0, PageId(1), true);
+        // Commit of the update: the page is dirty in MM only → tracked.
+        bm.note_committed_update(0, PageId(1), 7);
+        assert_eq!(bm.dirty_page_table().rec_lsn(PageId(1)), Some(7));
+        assert_eq!(bm.dirty_page_table().min_rec_lsn(), Some(7));
+        // Eviction writes the page back → the committed update is durable.
+        bm.reference_page(0, PageId(2), false);
+        bm.reference_page(0, PageId(3), false); // evicts page 1 (dirty)
+        assert!(bm.dirty_page_table().is_empty());
+    }
+
+    #[test]
+    fn dirty_table_ignores_already_propagated_commits() {
+        let mut bm = BufferManager::new(disk_config(1));
+        bm.reference_page(0, PageId(1), true);
+        // Evicting page 1 writes it back synchronously.
+        bm.reference_page(0, PageId(2), false);
+        // The commit arrives after the page was already written back: no redo
+        // will ever be needed, so the table must stay empty.
+        bm.note_committed_update(0, PageId(1), 3);
+        assert!(bm.dirty_page_table().is_empty());
+        // A clean page (read only) is never tracked either.
+        bm.note_committed_update(0, PageId(2), 4);
+        assert!(bm.dirty_page_table().is_empty());
+    }
+
+    #[test]
+    fn dirty_table_always_tracks_memory_resident_partitions() {
+        let mut cfg = disk_config(1);
+        cfg.partitions[1] = PartitionPolicy::memory_resident();
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(1, PageId(500), true);
+        bm.note_committed_update(1, PageId(500), 9);
+        // MM-resident pages are never written back; their committed updates
+        // stay volatile until a crash replays them from the log.
+        assert_eq!(bm.dirty_page_table().rec_lsn(PageId(500)), Some(9));
+    }
+
+    #[test]
+    fn force_and_migration_clear_the_dirty_table() {
+        // FORCE to disk.
+        let cfg = disk_config(4).with_update_strategy(UpdateStrategy::Force);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), true);
+        bm.note_committed_update(0, PageId(1), 1);
+        assert_eq!(bm.dirty_page_table().len(), 1);
+        bm.force_page(0, PageId(1));
+        assert!(bm.dirty_page_table().is_empty());
+        // Migration into the (non-volatile) NVEM cache.
+        let cfg = disk_config(1).with_nvem_cache(4, SecondLevelMode::All);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), true);
+        bm.note_committed_update(0, PageId(1), 2);
+        bm.reference_page(0, PageId(2), false); // evicts 1 → NVEM cache
+        assert!(bm.dirty_page_table().is_empty());
+    }
+
+    #[test]
+    fn invalidation_clears_the_dirty_table_entry() {
+        let mut bm = BufferManager::new(disk_config(4));
+        bm.reference_page(0, PageId(1), true);
+        bm.note_committed_update(0, PageId(1), 5);
+        assert!(bm.invalidate_page(PageId(1)));
+        assert!(bm.dirty_page_table().is_empty());
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct CmParams {
     /// Maximum time (ms) a committing transaction waits for the group-commit
     /// batch to fill before the batch is flushed anyway.
     pub group_commit_timeout_ms: SimTime,
+    /// Size of one redo log record in bytes.  Together with the 4 KB page
+    /// size this determines how many redo records fit on one log page, and
+    /// therefore how many log pages a crash restart must read back
+    /// (see [`crate::recovery`]).
+    pub log_record_bytes: usize,
 }
 
 impl Default for CmParams {
@@ -56,6 +61,7 @@ impl Default for CmParams {
             logging: true,
             group_commit_size: 1,
             group_commit_timeout_ms: 1.0,
+            log_record_bytes: 512,
         }
     }
 }
@@ -148,6 +154,114 @@ pub enum LogAllocation {
     DiskUnitViaNvemWriteBuffer(usize),
 }
 
+/// Update-propagation policy the recovery subsystem assumes (Härder/Reuter).
+///
+/// Under [`ForcePolicy::Force`] every committed update is already in the
+/// permanent database (or non-volatile intermediate storage) at commit, so a
+/// crash loses no committed work and restart degenerates to a log scan.
+/// Under [`ForcePolicy::NoForce`] committed updates may exist only in the
+/// volatile main-memory buffer and must be redone from the log after a crash.
+/// When recovery is enabled the policy must agree with
+/// [`bufmgr::UpdateStrategy`] in [`SimulationConfig::buffer`] (checked by
+/// [`SimulationConfig::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForcePolicy {
+    /// Modified pages are propagated at commit; restart needs no page redo.
+    Force,
+    /// Modified pages are propagated lazily; restart redoes committed
+    /// updates from the log.
+    NoForce,
+}
+
+/// Where the *active* redo-log tail (everything after the last checkpoint)
+/// lives for restart purposes (§3.3: NVEM-resident log truncation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogTruncation {
+    /// The log tail is read back from the device named by
+    /// [`SimulationConfig::log_allocation`]; every log page read during
+    /// restart pays that device's read latency.
+    DiskResident,
+    /// The log tail is retained in non-volatile extended memory (the log is
+    /// truncated into NVEM at every checkpoint), so restart reads it at NVEM
+    /// speed regardless of where the durable log copy lives.
+    NvemResident,
+}
+
+/// Crash-recovery and checkpointing parameters.
+///
+/// `checkpoint_interval_ms == 0` disables checkpointing entirely: no
+/// checkpoint events are scheduled, no redo bookkeeping is performed (unless
+/// a crash is requested via [`crate::Simulation::simulate_crash_at`]) and the
+/// run is bit-for-bit identical to an engine without the recovery subsystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryParams {
+    /// Interval between fuzzy checkpoints (ms of simulated time); `0`
+    /// disables checkpointing.  Each checkpoint writes one checkpoint record
+    /// to the log allocation (contending with commit log writes), advances
+    /// the redo boundary to the oldest committed-but-unpropagated update and
+    /// truncates the redo log before it.
+    pub checkpoint_interval_ms: SimTime,
+    /// The update-propagation policy recovery assumes; must match
+    /// [`SimulationConfig::buffer`]`.update_strategy` when recovery is
+    /// enabled.
+    pub force_policy: ForcePolicy,
+    /// Where the active log tail is kept for restart reads.
+    pub log_truncation: LogTruncation,
+}
+
+impl Default for RecoveryParams {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl RecoveryParams {
+    /// Recovery switched off (no checkpoints, NOFORCE assumptions,
+    /// disk-resident log tail).  This is the default of every preset.
+    pub fn disabled() -> Self {
+        Self {
+            checkpoint_interval_ms: 0.0,
+            force_policy: ForcePolicy::NoForce,
+            log_truncation: LogTruncation::DiskResident,
+        }
+    }
+
+    /// Checkpointing enabled at the given interval with NOFORCE assumptions.
+    pub fn noforce(checkpoint_interval_ms: SimTime) -> Self {
+        Self {
+            checkpoint_interval_ms,
+            ..Self::disabled()
+        }
+    }
+
+    /// Checkpointing enabled at the given interval with FORCE assumptions.
+    pub fn force(checkpoint_interval_ms: SimTime) -> Self {
+        Self {
+            checkpoint_interval_ms,
+            force_policy: ForcePolicy::Force,
+            ..Self::disabled()
+        }
+    }
+
+    /// True if checkpointing (and with it steady-state redo bookkeeping) is
+    /// enabled.
+    pub fn enabled(&self) -> bool {
+        self.checkpoint_interval_ms > 0.0
+    }
+
+    /// True if the recovery force policy agrees with the buffer manager's
+    /// update strategy (the single source of truth for the consistency check
+    /// in [`SimulationConfig::validate`] and
+    /// [`crate::Simulation::simulate_crash_at`]).
+    pub fn matches_update_strategy(&self, strategy: bufmgr::UpdateStrategy) -> bool {
+        matches!(
+            (self.force_policy, strategy),
+            (ForcePolicy::Force, bufmgr::UpdateStrategy::Force)
+                | (ForcePolicy::NoForce, bufmgr::UpdateStrategy::NoForce)
+        )
+    }
+}
+
 /// Complete configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
@@ -167,6 +281,8 @@ pub struct SimulationConfig {
     pub devices: Vec<DeviceSpec>,
     /// Log allocation.
     pub log_allocation: LogAllocation,
+    /// Crash-recovery and checkpointing parameters (disabled by default).
+    pub recovery: RecoveryParams,
     /// Buffer-manager configuration (buffer sizes, update strategy,
     /// per-partition allocation and NVEM usage).
     pub buffer: BufferConfig,
@@ -212,6 +328,30 @@ impl SimulationConfig {
         }
         if self.nodes.remote_lock_delay_ms < 0.0 {
             return Err("remote lock delay must be non-negative".into());
+        }
+        if self.cm.log_record_bytes == 0
+            || self.cm.log_record_bytes > crate::recovery::LOG_PAGE_BYTES
+        {
+            return Err(format!(
+                "log record size must be between 1 and {} bytes",
+                crate::recovery::LOG_PAGE_BYTES
+            ));
+        }
+        if self.recovery.checkpoint_interval_ms.is_nan()
+            || self.recovery.checkpoint_interval_ms < 0.0
+        {
+            return Err("checkpoint interval must be non-negative".into());
+        }
+        if self.recovery.enabled() {
+            if !self.cm.logging {
+                return Err("recovery requires logging to be enabled".into());
+            }
+            if !self
+                .recovery
+                .matches_update_strategy(self.buffer.update_strategy)
+            {
+                return Err("recovery force policy must match the buffer update strategy".into());
+            }
         }
         self.buffer.validate()?;
         // Every device reference must exist.
@@ -267,6 +407,7 @@ mod tests {
             nvem: NvemParams::default(),
             devices: vec![DiskUnitParams::database_disks(DiskUnitKind::Regular, 2, 8).into()],
             log_allocation: LogAllocation::DiskUnit(0),
+            recovery: RecoveryParams::disabled(),
             buffer: BufferConfig {
                 mm_buffer_pages: 100,
                 nvem_cache_pages: 0,
@@ -359,6 +500,43 @@ mod tests {
         c.nodes = NodeParams::data_sharing(8);
         assert!(c.validate().is_ok());
         assert_eq!(NodeParams::single().num_nodes, 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_recovery_params() {
+        let mut c = minimal_config();
+        c.recovery.checkpoint_interval_ms = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.recovery.checkpoint_interval_ms = f64::NAN;
+        assert!(c.validate().is_err());
+        // Enabled recovery needs logging ...
+        let mut c = minimal_config();
+        c.recovery = RecoveryParams::noforce(1_000.0);
+        c.cm.logging = false;
+        assert!(c.validate().is_err());
+        // ... and a force policy that matches the buffer update strategy.
+        let mut c = minimal_config();
+        c.recovery = RecoveryParams::force(1_000.0);
+        assert!(c.validate().is_err());
+        c.buffer.update_strategy = bufmgr::UpdateStrategy::Force;
+        assert!(c.validate().is_ok());
+        // A mismatching policy is fine while recovery is disabled.
+        let mut c = minimal_config();
+        c.recovery.force_policy = ForcePolicy::Force;
+        assert!(c.validate().is_ok());
+        assert!(!RecoveryParams::disabled().enabled());
+        assert!(RecoveryParams::noforce(10.0).enabled());
+    }
+
+    #[test]
+    fn validation_catches_bad_log_record_size() {
+        let mut c = minimal_config();
+        c.cm.log_record_bytes = 0;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.cm.log_record_bytes = 100_000;
+        assert!(c.validate().is_err());
     }
 
     #[test]

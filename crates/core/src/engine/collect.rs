@@ -5,7 +5,10 @@ use dbmodel::WorkloadGenerator;
 use simkernel::stats::TimeWeighted;
 use simkernel::time::SimTime;
 
-use crate::metrics::{DeviceReport, NodeReport, ResponseTimeStats, SimulationReport, TxTypeReport};
+use crate::metrics::{
+    DeviceReport, NodeReport, RecoveryReport, ResponseTimeStats, RestartReport, SimulationReport,
+    TxTypeReport,
+};
 
 use super::Simulation;
 
@@ -50,12 +53,16 @@ impl<W: WorkloadGenerator> Simulation<W> {
             u.disks.reset_stats(now);
         }
         self.lockmgr.reset_stats();
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.reset_stats();
+        }
         for node in &mut self.nodes {
             node.cpus.reset_stats(now);
             node.bufmgr.reset_stats();
             node.completed = 0;
             node.aborts = 0;
             node.remote_lock_requests = 0;
+            node.redo_records = 0;
             node.response.reset();
             node.active_tw = TimeWeighted::new();
             node.active_tw.record(now, node.active_count as f64);
@@ -68,8 +75,9 @@ impl<W: WorkloadGenerator> Simulation<W> {
         self.inputq_tw.record(now, self.total_queued as f64);
     }
 
-    /// Assembles the final report at the end of the run.
-    pub(super) fn build_report(mut self) -> SimulationReport {
+    /// Assembles the final report at the end of the run (or at the crash,
+    /// in which case `restart` carries the redo-pass result).
+    pub(super) fn build_report(mut self, restart: Option<RestartReport>) -> SimulationReport {
         let now = self.queue.now();
         let measured = (now - self.measure_start).max(1e-9);
         self.active_tw.record(now, self.total_active as f64);
@@ -98,10 +106,16 @@ impl<W: WorkloadGenerator> Simulation<W> {
             .collect();
         per_type.sort_by_key(|t| t.tx_type);
 
+        // After a crash, the device and lock counters frozen at the crash
+        // instant are reported instead of the live ones, so the restart
+        // pass's reads and lock re-acquisitions stay out of the steady-state
+        // sections (they appear in the `RestartReport`).
+        let crash_stats = self.crash_stats.as_ref();
         let devices = self
             .units
             .iter_mut()
-            .map(|u| {
+            .enumerate()
+            .map(|(i, u)| {
                 let dstats = u.disks.stats(now);
                 let cstats = u.controllers.stats(now);
                 DeviceReport {
@@ -109,7 +123,9 @@ impl<W: WorkloadGenerator> Simulation<W> {
                     disk_utilization: dstats.utilization,
                     controller_utilization: cstats.utilization,
                     avg_disk_wait: dstats.avg_wait,
-                    stats: u.device.stats(),
+                    stats: crash_stats
+                        .map(|s| s.devices[i])
+                        .unwrap_or_else(|| u.device.stats()),
                 }
             })
             .collect();
@@ -138,10 +154,20 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 avg_active_transactions: node.active_tw.mean().unwrap_or(0.0),
                 avg_input_queue: node.inputq_tw.mean().unwrap_or(0.0),
                 remote_lock_requests: node.remote_lock_requests,
+                redo_records: node.redo_records,
                 buffer: node.bufmgr.stats().clone(),
             });
         }
         cpu_utilization /= self.nodes.len() as f64;
+
+        let recovery = self.recovery.as_ref().map(|rec| RecoveryReport {
+            checkpoints_taken: rec.checkpoints_taken,
+            checkpoint_overhead_ms: rec.checkpoint_overhead_ms,
+            redo_log_records: self.nodes.iter().map(|n| n.redo_records).sum(),
+            log_records_truncated: rec.records_truncated,
+            records_per_log_page: rec.redo.records_per_page(),
+            restart,
+        });
 
         let nvem_capacity = self.config.nvem.num_servers.max(1) as f64;
         SimulationReport {
@@ -158,8 +184,17 @@ impl<W: WorkloadGenerator> Simulation<W> {
             avg_active_transactions: self.active_tw.mean().unwrap_or(0.0),
             avg_input_queue: self.inputq_tw.mean().unwrap_or(0.0),
             buffer,
-            locks: self.lockmgr.stats(),
-            global_locks: self.lockmgr.global_stats(),
+            locks: self
+                .crash_stats
+                .as_ref()
+                .map(|s| s.locks)
+                .unwrap_or_else(|| self.lockmgr.stats()),
+            global_locks: self
+                .crash_stats
+                .as_ref()
+                .map(|s| s.global_locks)
+                .unwrap_or_else(|| self.lockmgr.global_stats()),
+            recovery,
             devices,
             nodes: nodes_report,
         }

@@ -204,6 +204,13 @@ impl<W: WorkloadGenerator> Simulation<W> {
     }
 
     pub(super) fn op_complete(&mut self, slot: usize) -> Flow {
+        // Crash recovery: the transaction's commit log record is durable by
+        // now (the log write — own or group — completed before this micro
+        // operation ran), so this is the instant its redo records exist for
+        // a crash.  Pages already propagated (FORCE writes, an eviction
+        // while the log write was in flight) are skipped by the dirty-page
+        // table.  No-op while the recovery subsystem is inactive.
+        self.record_redo(slot);
         let now = self.queue.now();
         let (tx_id, node, arrival, tx_type, is_update) = {
             let tx = self.txs[slot].as_ref().expect("live transaction");

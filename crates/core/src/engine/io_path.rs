@@ -200,7 +200,23 @@ impl<W: WorkloadGenerator> Simulation<W> {
             self.nodes[io.node].bufmgr.async_write_complete(io.page);
         }
         if io.log_wb {
-            self.log_wb_pending = self.log_wb_pending.saturating_sub(1);
+            // Every completion must match an earlier occupancy increment in
+            // `op_log_write`; an underflow means the write-buffer accounting
+            // is broken and must surface instead of being clamped away.
+            debug_assert!(
+                self.log_wb_pending > 0,
+                "NVEM log write-buffer occupancy underflow: completion without reservation"
+            );
+            if let Some(next) = self.log_wb_pending.checked_sub(1) {
+                self.log_wb_pending = next;
+            }
+        }
+        // A completed checkpoint log write contributes its measured latency
+        // (including queueing) to the checkpoint overhead.
+        if let Some(rec) = self.recovery.as_mut() {
+            if let Some(issued) = rec.checkpoint_ios.remove(&io_id) {
+                rec.checkpoint_overhead_ms += self.queue.now() - issued;
+            }
         }
         if !io.background.is_empty() {
             let bg_id = self.next_io_id;

@@ -28,6 +28,9 @@
 //!   [`StorageDevice`] models,
 //! * `commit` — commit processing: logging, FORCE/NOFORCE, group commit,
 //!   cross-node buffer invalidation,
+//! * `recover` — the opt-in crash-recovery subsystem: redo-record
+//!   bookkeeping at commit, fuzzy checkpoints and the simulated
+//!   crash-and-restart pass (see [`crate::recovery`]),
 //! * `collect` — statistics collection and the final report (aggregate and
 //!   per node).
 
@@ -37,6 +40,7 @@ mod cpu;
 mod exec;
 mod io_path;
 mod iorequest;
+mod recover;
 mod source;
 mod transaction;
 
@@ -47,14 +51,15 @@ use std::collections::{HashMap, VecDeque};
 
 use bufmgr::BufferManager;
 use dbmodel::{TransactionTemplate, WorkloadGenerator};
-use lockmgr::GlobalLockService;
+use lockmgr::{GlobalLockService, GlobalLockStats, LockManagerStats};
 use simkernel::stats::{Histogram, Tally, TimeWeighted};
 use simkernel::time::{interarrival_ms, SimTime};
 use simkernel::{EventQueue, Resource, SimRng};
-use storage::StorageDevice;
+use storage::{DiskUnitStats, StorageDevice};
 
 use crate::config::SimulationConfig;
 use crate::metrics::SimulationReport;
+use crate::recovery::RecoveryRuntime;
 
 use iorequest::IoRequest;
 use transaction::Transaction;
@@ -73,6 +78,12 @@ enum Ev {
     /// Flush the open group-commit batch with the given sequence number if it
     /// is still open (timeout path).
     GroupCommitFlush(u64),
+    /// Take a fuzzy checkpoint (only scheduled when
+    /// `config.recovery.checkpoint_interval_ms > 0`).
+    Checkpoint,
+    /// The simulated crash point: stop the run and enter restart processing
+    /// (only scheduled via [`Simulation::simulate_crash_at`]).
+    Crash,
     /// End of the warm-up interval: reset all statistics.
     EndWarmup,
     /// End of the measurement interval: stop the simulation.
@@ -99,6 +110,17 @@ struct UnitRuntime {
     disks: Resource,
 }
 
+/// Device and lock statistics frozen at the crash instant.  The restart
+/// pass drives the device models and the lock service directly, so without
+/// the snapshot its reads and lock re-acquisitions would leak into the
+/// steady-state sections of the report (they are reported separately in
+/// [`crate::metrics::RestartReport`]).
+struct CrashStatsSnapshot {
+    devices: Vec<DiskUnitStats>,
+    locks: LockManagerStats,
+    global_locks: GlobalLockStats,
+}
+
 /// Runtime state of one computing module (node): its CPU servers, local
 /// buffer pool, input queue and per-node statistics.  A single-node run has
 /// exactly one of these and behaves bit-identically to the pre-data-sharing
@@ -113,6 +135,7 @@ struct NodeRuntime {
     completed: u64,
     aborts: u64,
     remote_lock_requests: u64,
+    redo_records: u64,
     response: Tally,
     active_tw: TimeWeighted,
     inputq_tw: TimeWeighted,
@@ -128,6 +151,7 @@ impl NodeRuntime {
             completed: 0,
             aborts: 0,
             remote_lock_requests: 0,
+            redo_records: 0,
             response: Tally::new(),
             active_tw: TimeWeighted::new(),
             inputq_tw: TimeWeighted::new(),
@@ -195,6 +219,16 @@ pub struct Simulation<W: WorkloadGenerator> {
     measure_start: SimTime,
     stop_arrivals: bool,
 
+    // Crash recovery (see `crate::recovery` and the `recover` submodule).
+    // `recovery` is `Some` while the subsystem tracks redo state: with
+    // checkpointing enabled and/or a crash requested.  When `None`, no redo
+    // bookkeeping of any kind happens and the run is identical to an engine
+    // without the subsystem.
+    recovery: Option<RecoveryRuntime>,
+    crash_at: Option<SimTime>,
+    crashed: bool,
+    crash_stats: Option<CrashStatsSnapshot>,
+
     // Aggregate statistics (sums over all nodes, kept incrementally so the
     // single-node report is identical to the per-node one).
     response: Tally,
@@ -243,6 +277,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
         };
         let lockmgr = GlobalLockService::new(config.cc_modes.clone(), 0, remote_delay);
         let end_time = config.total_time_ms();
+        let recovery = config
+            .recovery
+            .enabled()
+            .then(|| RecoveryRuntime::new(config.cm.log_record_bytes));
 
         Self {
             workload,
@@ -274,6 +312,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
             warmup_done: false,
             measure_start: config.warmup_ms,
             stop_arrivals: false,
+            recovery,
+            crash_at: None,
+            crashed: false,
+            crash_stats: None,
             response: Tally::new(),
             response_hist: Histogram::new(2.0, 5_000),
             per_type: HashMap::new(),
@@ -285,6 +327,46 @@ impl<W: WorkloadGenerator> Simulation<W> {
             inputq_tw: TimeWeighted::new(),
             config,
         }
+    }
+
+    /// Requests a simulated crash at `at_ms` (absolute simulated time): the
+    /// run stops there, all volatile state (buffers, in-flight transactions,
+    /// locks) is lost, and a redo pass replays the committed updates since
+    /// the last checkpoint from the log, paying the configured devices' read
+    /// latencies.  The result appears as
+    /// [`crate::metrics::RestartReport`] in the report's `recovery` section.
+    ///
+    /// Enables redo bookkeeping even when checkpointing is disabled
+    /// (`checkpoint_interval_ms == 0`); redo then starts at the log's
+    /// beginning.
+    ///
+    /// # Panics
+    /// Panics if the crash point is not strictly inside the measurement
+    /// interval, if logging is disabled, or if the recovery force policy
+    /// contradicts the buffer update strategy.
+    pub fn simulate_crash_at(mut self, at_ms: SimTime) -> Self {
+        assert!(
+            at_ms > self.config.warmup_ms && at_ms < self.end_time,
+            "crash point {at_ms} ms must lie strictly inside the measurement interval \
+             ({} ms .. {} ms)",
+            self.config.warmup_ms,
+            self.end_time
+        );
+        assert!(
+            self.config.cm.logging,
+            "crash recovery requires logging to be enabled"
+        );
+        assert!(
+            self.config
+                .recovery
+                .matches_update_strategy(self.config.buffer.update_strategy),
+            "recovery force policy must match the buffer update strategy"
+        );
+        if self.recovery.is_none() {
+            self.recovery = Some(RecoveryRuntime::new(self.config.cm.log_record_bytes));
+        }
+        self.crash_at = Some(at_ms);
+        self
     }
 
     /// Number of computing modules in the configuration.
@@ -312,19 +394,36 @@ impl<W: WorkloadGenerator> Simulation<W> {
             .schedule_at(first.min(self.end_time), Ev::Arrival);
         self.queue.schedule_at(self.config.warmup_ms, Ev::EndWarmup);
         self.queue.schedule_at(self.end_time, Ev::EndRun);
+        let checkpoint_interval = self.config.recovery.checkpoint_interval_ms;
+        if self.recovery.is_some() && checkpoint_interval > 0.0 {
+            self.queue.schedule_at(checkpoint_interval, Ev::Checkpoint);
+        }
+        if let Some(crash_at) = self.crash_at {
+            self.queue.schedule_at(crash_at, Ev::Crash);
+        }
 
         while let Some(event) = self.queue.pop() {
             match event.payload {
                 Ev::EndRun => break,
+                Ev::Crash => {
+                    self.crashed = true;
+                    break;
+                }
                 Ev::EndWarmup => self.end_warmup(),
                 Ev::Arrival => self.handle_arrival(),
                 Ev::CpuDone(slot) => self.handle_cpu_done(slot),
                 Ev::IoStage(io_id) => self.handle_io_stage(io_id),
                 Ev::MsgDone(slot) => self.handle_msg_done(slot),
                 Ev::GroupCommitFlush(seq) => self.handle_group_commit_flush(seq),
+                Ev::Checkpoint => self.handle_checkpoint(),
             }
             self.process_ready();
         }
-        self.build_report()
+        let restart = if self.crashed {
+            Some(self.perform_restart())
+        } else {
+            None
+        };
+        self.build_report(restart)
     }
 }

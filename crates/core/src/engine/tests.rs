@@ -1,20 +1,40 @@
-//! Engine-level tests: end-to-end runs of small configurations.
+//! Engine-level tests: end-to-end runs of small configurations, plus direct
+//! regression tests against the commit-path internals (group commit,
+//! cross-node invalidation, log write-buffer accounting).
 
+use dbmodel::{AccessMode, ObjectId, ObjectRef, PageId, TransactionTemplate};
 use storage::NvemDeviceParams;
 
-use crate::config::LogAllocation;
+use crate::config::{LogAllocation, RecoveryParams};
 use crate::presets::{
-    data_sharing_config, debit_credit_config, debit_credit_workload, DebitCreditStorage, LOG_UNIT,
+    data_sharing_config, debit_credit_config, debit_credit_workload, recovery_config,
+    DebitCreditStorage, LOG_UNIT,
 };
 
-use super::Simulation;
+use super::iorequest::IoRequest;
+use super::{Flow, Simulation};
 use crate::config::SimulationConfig;
+use crate::metrics::SimulationReport;
 
 fn quick_config(storage: DebitCreditStorage, tps: f64) -> SimulationConfig {
     let mut c = debit_credit_config(storage, tps);
     c.warmup_ms = 300.0;
     c.measure_ms = 1_500.0;
     c
+}
+
+/// A single-reference update transaction touching `page` of partition 0
+/// (for tests that drive the commit path by hand).
+fn write_template(page: u64) -> TransactionTemplate {
+    TransactionTemplate {
+        tx_type: 0,
+        refs: vec![ObjectRef {
+            partition: 0,
+            page: PageId(page),
+            object: ObjectId(page),
+            mode: AccessMode::Write,
+        }],
+    }
 }
 
 #[test]
@@ -266,6 +286,265 @@ fn shared_log_disk_and_lock_messages_cap_multi_node_scaling() {
         "throughput {} should be capped by the shared log disk",
         sharing.throughput_tps
     );
+}
+
+// ---------------------------------------------------------------------------
+// Commit-path regression tests (direct engine manipulation)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stale_group_commit_timeout_is_a_noop_and_never_flushes_a_newer_batch() {
+    let mut c = quick_config(DebitCreditStorage::Disk, 50.0);
+    c.cm.group_commit_size = 2;
+    c.cm.group_commit_timeout_ms = 2.0;
+    let mut sim = Simulation::new(c, debit_credit_workload(200));
+    for page in 1..=3 {
+        sim.activate(0, write_template(page), 0.0);
+    }
+    // Slot 0 opens batch seq 0 (arming its flush timeout), slot 1 fills it:
+    // the batch is size-flushed and the sequence number advances.
+    let seq0 = sim.commit_group_seq;
+    assert_eq!(sim.join_commit_group(0, LOG_UNIT), Flow::Blocked);
+    assert_eq!(sim.commit_group.len(), 1);
+    assert_eq!(sim.join_commit_group(1, LOG_UNIT), Flow::Blocked);
+    assert_eq!(sim.commit_group_seq, seq0 + 1);
+    assert!(sim.commit_group.is_empty());
+    assert_eq!(sim.group_waiters.len(), 1, "one group log write in flight");
+    // Slot 2 opens the next batch (seq 1).
+    assert_eq!(sim.join_commit_group(2, LOG_UNIT), Flow::Blocked);
+    assert_eq!(sim.commit_group.len(), 1);
+    // The stale timeout of the size-flushed batch seq 0 arrives now: it must
+    // neither flush the newer batch early nor disturb the in-flight write.
+    sim.handle_group_commit_flush(seq0);
+    assert_eq!(sim.commit_group.len(), 1, "newer batch flushed early");
+    assert_eq!(sim.group_waiters.len(), 1);
+    // The newer batch's own timeout flushes it ...
+    sim.handle_group_commit_flush(seq0 + 1);
+    assert!(sim.commit_group.is_empty());
+    assert_eq!(sim.group_waiters.len(), 2);
+    // ... and a late duplicate timeout for it is a no-op as well.
+    sim.handle_group_commit_flush(seq0 + 1);
+    assert_eq!(sim.group_waiters.len(), 2);
+    assert_eq!(sim.log_group_writes, 2);
+}
+
+#[test]
+fn commit_invalidation_skips_the_committing_node_and_counts_once() {
+    let mut c = data_sharing_config(3, 60.0);
+    c.warmup_ms = 300.0;
+    c.measure_ms = 1_500.0;
+    let mut sim = Simulation::new(c, debit_credit_workload(200));
+    // Page 42 is buffered on every node; node 0 holds the freshly written
+    // (dirty) copy of its committing transaction, nodes 1 and 2 hold stale
+    // clean copies.
+    sim.nodes[0].bufmgr.reference_page(0, PageId(42), true);
+    sim.nodes[1].bufmgr.reference_page(0, PageId(42), false);
+    sim.nodes[2].bufmgr.reference_page(0, PageId(42), false);
+    sim.activate(0, write_template(42), 0.0);
+    assert_eq!(sim.op_complete(0), Flow::Finished);
+    // The committing node must keep its own just-written copy ...
+    assert!(
+        sim.nodes[0].bufmgr.mm_contains(PageId(42)),
+        "committing node invalidated its own just-written copy"
+    );
+    // ... the other nodes must lose theirs ...
+    assert!(!sim.nodes[1].bufmgr.mm_contains(PageId(42)));
+    assert!(!sim.nodes[2].bufmgr.mm_contains(PageId(42)));
+    // ... and each dropped copy is counted exactly once, on the node that
+    // lost it (so the aggregate sum over nodes cannot double-count).
+    assert_eq!(sim.nodes[0].bufmgr.stats().invalidations, 0);
+    assert_eq!(sim.nodes[1].bufmgr.stats().invalidations, 1);
+    assert_eq!(sim.nodes[2].bufmgr.stats().invalidations, 1);
+    let total: u64 = sim
+        .nodes
+        .iter()
+        .map(|n| n.bufmgr.stats().invalidations)
+        .sum();
+    assert_eq!(total, 2);
+}
+
+#[test]
+fn log_wb_completion_decrements_occupancy() {
+    let mut sim = Simulation::new(
+        quick_config(DebitCreditStorage::Disk, 50.0),
+        debit_credit_workload(200),
+    );
+    sim.log_wb_pending = 2;
+    // An empty stage list completes immediately on advance.
+    sim.ios
+        .insert(91, IoRequest::new(0, PageId(7), vec![], None).with_log_wb());
+    sim.advance_io(91);
+    assert_eq!(sim.log_wb_pending, 1);
+}
+
+#[test]
+#[should_panic(expected = "write-buffer occupancy underflow")]
+fn log_wb_underflow_is_surfaced_in_debug_builds() {
+    let mut sim = Simulation::new(
+        quick_config(DebitCreditStorage::Disk, 50.0),
+        debit_credit_workload(200),
+    );
+    assert_eq!(sim.log_wb_pending, 0);
+    // A log write-buffer completion without a matching reservation is an
+    // accounting bug and must assert instead of clamping silently.
+    sim.ios
+        .insert(92, IoRequest::new(0, PageId(8), vec![], None).with_log_wb());
+    sim.advance_io(92);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+/// Runs a short recovery configuration and crashes it at 1.5 s (mid
+/// measurement interval).
+fn quick_crash(force: bool, nvem_log: bool, interval_ms: f64) -> SimulationReport {
+    let mut c = recovery_config(force, nvem_log, interval_ms, 120.0);
+    c.warmup_ms = 300.0;
+    c.measure_ms = 1_500.0;
+    Simulation::new(c, debit_credit_workload(100))
+        .simulate_crash_at(1_500.0)
+        .run()
+}
+
+#[test]
+fn crash_and_restart_reports_recovery_metrics() {
+    let report = quick_crash(false, false, 0.0);
+    assert!(report.completed > 50, "completed {}", report.completed);
+    assert!((report.measured_time_ms - 1_200.0).abs() < 1e-6);
+    let rec = report.recovery.as_ref().expect("recovery section present");
+    assert_eq!(rec.checkpoints_taken, 0);
+    assert!(rec.redo_log_records > 0);
+    assert_eq!(rec.records_per_log_page, 8); // 4096 / 512
+    let restart = rec.restart.as_ref().expect("restart section present");
+    assert!((restart.crash_time_ms - 1_500.0).abs() < 1e-9);
+    assert!(restart.restart_ms > 0.0);
+    assert!(restart.redo_records > 0);
+    assert!(restart.log_pages_read > 1);
+    assert!(restart.dirty_pages_at_crash > 0);
+    assert!(restart.data_pages_read > 0);
+    assert!(restart.locks_released_at_crash > 0);
+    assert!(restart.locks_reacquired > 0);
+    // The per-node redo records sum to the aggregate.
+    assert_eq!(
+        report.nodes.iter().map(|n| n.redo_records).sum::<u64>(),
+        rec.redo_log_records
+    );
+}
+
+#[test]
+fn checkpoints_truncate_the_log_and_cost_overhead() {
+    let without = quick_crash(true, false, 0.0);
+    let with = quick_crash(true, false, 400.0);
+    let rec = with.recovery.as_ref().unwrap();
+    assert!(
+        rec.checkpoints_taken >= 2,
+        "{} checkpoints",
+        rec.checkpoints_taken
+    );
+    assert!(rec.checkpoint_overhead_ms > 0.0);
+    assert!(rec.log_records_truncated > 0);
+    // Under FORCE every committed update is propagated at commit, so the
+    // dirty-page tables stay empty and each checkpoint advances the redo
+    // boundary to the log's end: the redo tail at the crash is a fraction of
+    // the un-checkpointed one.
+    let redo_with = rec.restart.as_ref().unwrap().redo_records;
+    let redo_without = without
+        .recovery
+        .as_ref()
+        .unwrap()
+        .restart
+        .as_ref()
+        .unwrap()
+        .redo_records;
+    assert!(
+        redo_with * 2 < redo_without,
+        "checkpoints should bound the redo tail: {redo_with} vs {redo_without}"
+    );
+}
+
+#[test]
+fn force_restart_is_a_pure_log_scan() {
+    let report = quick_crash(true, false, 0.0);
+    let restart = report.recovery.as_ref().unwrap().restart.as_ref().unwrap();
+    // FORCE propagates at commit: nothing is lost, nothing is re-read.
+    assert_eq!(restart.dirty_pages_at_crash, 0);
+    assert_eq!(restart.data_pages_read, 0);
+    assert_eq!(restart.locks_reacquired, 0);
+    assert!(restart.log_pages_read > 0);
+    let noforce = quick_crash(false, false, 0.0);
+    let noforce_restart = noforce.recovery.as_ref().unwrap().restart.as_ref().unwrap();
+    assert!(
+        restart.restart_ms < noforce_restart.restart_ms,
+        "FORCE restart {} ms vs NOFORCE restart {} ms",
+        restart.restart_ms,
+        noforce_restart.restart_ms
+    );
+}
+
+#[test]
+fn nvem_resident_log_shortens_restart() {
+    let disk = quick_crash(false, false, 0.0);
+    let nvem = quick_crash(false, true, 0.0);
+    assert!(
+        nvem.restart_ms() < disk.restart_ms(),
+        "NVEM log restart {} ms vs disk log restart {} ms",
+        nvem.restart_ms(),
+        disk.restart_ms()
+    );
+}
+
+#[test]
+fn recovery_is_deterministic_for_fixed_seed_and_crash_point() {
+    let a = quick_crash(false, false, 300.0);
+    let b = quick_crash(false, false, 300.0);
+    assert_eq!(
+        a, b,
+        "same seed + same crash point must reproduce the report"
+    );
+}
+
+#[test]
+fn disabled_recovery_reports_nothing_and_stays_deterministic() {
+    let make = || {
+        let mut c = quick_config(DebitCreditStorage::Disk, 80.0);
+        c.recovery = RecoveryParams::disabled();
+        Simulation::new(c, debit_credit_workload(100)).run()
+    };
+    let a = make();
+    assert!(a.recovery.is_none(), "inactive recovery must not report");
+    assert!(a.nodes.iter().all(|n| n.redo_records == 0));
+    assert_eq!(a, make());
+}
+
+#[test]
+fn multi_node_crash_replays_every_nodes_redo_records() {
+    let mut c = data_sharing_config(2, 120.0);
+    c.warmup_ms = 300.0;
+    c.measure_ms = 1_500.0;
+    c.recovery = RecoveryParams::noforce(500.0);
+    let report = Simulation::new(c, debit_credit_workload(100))
+        .simulate_crash_at(1_500.0)
+        .run();
+    let rec = report.recovery.as_ref().expect("recovery section");
+    assert_eq!(report.nodes.len(), 2);
+    for node in &report.nodes {
+        assert!(node.redo_records > 0, "node {} logged nothing", node.node);
+    }
+    assert_eq!(
+        report.nodes.iter().map(|n| n.redo_records).sum::<u64>(),
+        rec.redo_log_records
+    );
+    let restart = rec.restart.as_ref().expect("restart section");
+    assert!(restart.redo_records > 0);
+    assert!(restart.restart_ms > 0.0);
+}
+
+#[test]
+#[should_panic(expected = "crash point")]
+fn crash_point_outside_the_measurement_interval_is_rejected() {
+    let c = quick_config(DebitCreditStorage::Disk, 50.0);
+    let _ = Simulation::new(c, debit_credit_workload(100)).simulate_crash_at(100.0);
 }
 
 #[test]

@@ -38,11 +38,17 @@ pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod presets;
+pub mod recovery;
 pub mod tables;
 
-pub use config::{CmParams, LogAllocation, NodeParams, SimulationConfig};
+pub use config::{
+    CmParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams, RecoveryParams,
+    SimulationConfig,
+};
 pub use engine::Simulation;
-pub use metrics::{DeviceReport, NodeReport, ResponseTimeStats, SimulationReport};
+pub use metrics::{
+    DeviceReport, NodeReport, RecoveryReport, ResponseTimeStats, RestartReport, SimulationReport,
+};
 
 // Re-export the substrate crates so downstream users need only one dependency.
 pub use bufmgr;

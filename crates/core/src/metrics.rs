@@ -84,9 +84,66 @@ pub struct NodeReport {
     /// Lock requests this node sent to the remote global lock service (0 on
     /// the service's home node).
     pub remote_lock_requests: u64,
+    /// Redo records this node's committed update transactions appended to
+    /// the log during the measurement interval (0 while the recovery
+    /// subsystem is inactive).
+    pub redo_records: u64,
     /// This node's buffer-manager statistics (including invalidations
     /// received from other nodes' commits).
     pub buffer: BufferStats,
+}
+
+/// Steady-state recovery/checkpointing statistics, present whenever the
+/// recovery subsystem was active (checkpointing enabled and/or a crash was
+/// simulated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Fuzzy checkpoints completed during the measurement interval.
+    pub checkpoints_taken: u64,
+    /// Simulated time spent writing checkpoint records (ms): the measured
+    /// latency of the checkpoint log writes, including their queueing at the
+    /// log device.
+    pub checkpoint_overhead_ms: SimTime,
+    /// Redo records appended (committed page updates) during the measurement
+    /// interval.
+    pub redo_log_records: u64,
+    /// Redo records dropped by checkpoint truncation during the measurement
+    /// interval.
+    pub log_records_truncated: u64,
+    /// Redo records per 4 KB log page (from `cm.log_record_bytes`).
+    pub records_per_log_page: u64,
+    /// The crash-and-restart phase, if a crash was simulated.
+    pub restart: Option<RestartReport>,
+}
+
+/// Result of a simulated crash and the subsequent redo pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartReport {
+    /// Simulated time of the crash (ms since the start of the run).
+    pub crash_time_ms: SimTime,
+    /// Total simulated restart time (ms): log reads + redo applies + data
+    /// page reads.  Lock re-acquisition is counted in `locks_reacquired`
+    /// but — consistent with the steady-state model, where lock handling
+    /// has no explicit CPU cost of its own — adds no time.
+    pub restart_ms: SimTime,
+    /// Redo records scanned (everything after the last checkpoint's redo
+    /// boundary).
+    pub redo_records: u64,
+    /// Log pages read back during the redo scan (including the checkpoint
+    /// record).
+    pub log_pages_read: u64,
+    /// Database pages re-read from their home location to apply lost
+    /// committed updates.
+    pub data_pages_read: u64,
+    /// Pages with committed-but-unpropagated updates at the crash (union of
+    /// the per-node dirty-page tables).
+    pub dirty_pages_at_crash: u64,
+    /// Locks still held by in-flight transactions when the system crashed
+    /// (all dropped).
+    pub locks_released_at_crash: u64,
+    /// Locks the restart pass re-acquired (and released) to protect redone
+    /// pages.
+    pub locks_reacquired: u64,
 }
 
 /// Per-transaction-type response-time summary.
@@ -137,6 +194,9 @@ pub struct SimulationReport {
     pub locks: LockManagerStats,
     /// Global-lock-service statistics (local/remote request split, messages).
     pub global_locks: GlobalLockStats,
+    /// Recovery/checkpointing statistics; `None` when the recovery subsystem
+    /// was inactive (checkpointing disabled and no crash simulated).
+    pub recovery: Option<RecoveryReport>,
     /// Per-storage-device reports (one per configured [`storage::DeviceSpec`]).
     pub devices: Vec<DeviceReport>,
     /// Per-node breakdown (one entry per computing module; a single-node run
@@ -173,6 +233,15 @@ impl SimulationReport {
     /// single-node run).
     pub fn invalidations(&self) -> u64 {
         self.buffer.invalidations
+    }
+
+    /// Simulated restart time after a crash (0 when no crash was simulated).
+    pub fn restart_ms(&self) -> f64 {
+        self.recovery
+            .as_ref()
+            .and_then(|r| r.restart.as_ref())
+            .map(|r| r.restart_ms)
+            .unwrap_or(0.0)
     }
 
     /// Lock conflict probability per lock request.
@@ -244,6 +313,7 @@ mod tests {
                 releases: 198,
             },
             global_locks: GlobalLockStats::default(),
+            recovery: None,
             nodes: Vec::new(),
             devices: vec![DeviceReport {
                 name: "db".into(),
@@ -282,5 +352,31 @@ mod tests {
         let e = ResponseTimeStats::empty();
         assert_eq!(e.count, 0);
         assert_eq!(e.mean, 0.0);
+    }
+
+    #[test]
+    fn restart_ms_defaults_to_zero_and_reads_the_restart_report() {
+        let mut r = dummy_report();
+        assert_eq!(r.restart_ms(), 0.0);
+        r.recovery = Some(RecoveryReport {
+            checkpoints_taken: 2,
+            checkpoint_overhead_ms: 3.0,
+            redo_log_records: 100,
+            log_records_truncated: 40,
+            records_per_log_page: 8,
+            restart: None,
+        });
+        assert_eq!(r.restart_ms(), 0.0);
+        r.recovery.as_mut().unwrap().restart = Some(RestartReport {
+            crash_time_ms: 5_000.0,
+            restart_ms: 123.0,
+            redo_records: 60,
+            log_pages_read: 9,
+            data_pages_read: 20,
+            dirty_pages_at_crash: 20,
+            locks_released_at_crash: 4,
+            locks_reacquired: 20,
+        });
+        assert_eq!(r.restart_ms(), 123.0);
     }
 }

@@ -14,7 +14,10 @@
 //!
 //! Beyond the paper, [`data_sharing_config`] builds the multi-node
 //! data-sharing topology (N computing modules, shared storage complex, global
-//! lock service) swept by the `fig5_x_node_scaling` bench.
+//! lock service) swept by the `fig5_x_node_scaling` bench, and
+//! [`recovery_config`] builds the crash-recovery topology (FORCE/NOFORCE ×
+//! disk-/NVEM-resident log × checkpoint interval) swept by the
+//! `fig6_restart_time` bench.
 
 #[cfg(test)]
 use bufmgr::PageLocation;
@@ -27,7 +30,10 @@ use lockmgr::CcMode;
 use simkernel::SimRng;
 use storage::{DeviceSpec, DiskUnitKind, DiskUnitParams, NvemParams};
 
-use crate::config::{CmParams, LogAllocation, NodeParams, SimulationConfig};
+use crate::config::{
+    CmParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams, RecoveryParams,
+    SimulationConfig,
+};
 
 /// Index of the database disk unit in every preset that uses disks.
 pub const DB_UNIT: usize = 0;
@@ -181,6 +187,7 @@ pub fn debit_credit_config(storage: DebitCreditStorage, arrival_rate_tps: f64) -
         nvem: NvemParams::default(),
         devices,
         log_allocation,
+        recovery: RecoveryParams::disabled(),
         buffer,
         cc_modes: debit_credit_cc_modes(),
         arrival_rate_tps,
@@ -278,6 +285,56 @@ pub fn data_sharing_config(num_nodes: usize, arrival_rate_tps: f64) -> Simulatio
     config.nodes = NodeParams::data_sharing(num_nodes);
     // One shared log disk so log traffic, not CPU capacity, caps scaling.
     config.devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::Regular, 1, 1);
+    config
+}
+
+/// Configuration for the restart-time experiment (`fig6.x`, beyond the
+/// paper's figures but directly on its §3.3 trade-offs): the disk-resident
+/// Debit-Credit database with recovery enabled, crossing FORCE vs NOFORCE
+/// with a disk- vs NVEM-resident log.
+///
+/// * `force` selects the update strategy **and** the matching
+///   [`ForcePolicy`]: under FORCE every committed update is propagated at
+///   commit and restart degenerates to a log scan; under NOFORCE restart
+///   must redo the lost updates.
+/// * `nvem_log` moves the log to NVEM ([`LogAllocation::Nvem`] +
+///   [`LogTruncation::NvemResident`]), so both commit log writes and the
+///   restart's log-tail reads run at NVEM speed instead of paying the log
+///   disks.
+/// * `checkpoint_interval_ms` enables fuzzy checkpoints (`0` disables them;
+///   redo then reaches back to the start of the log).
+///
+/// The log unit keeps the eight-disk configuration of
+/// [`debit_credit_config`], so at moderate rates the log device is *not* the
+/// throughput bottleneck and the variants reach equal throughput while their
+/// restart times diverge — the trade-off the experiment measures.  Combine
+/// with [`crate::Simulation::simulate_crash_at`] to obtain a restart report.
+pub fn recovery_config(
+    force: bool,
+    nvem_log: bool,
+    checkpoint_interval_ms: f64,
+    arrival_rate_tps: f64,
+) -> SimulationConfig {
+    let mut config = debit_credit_config(DebitCreditStorage::Disk, arrival_rate_tps);
+    config.recovery = RecoveryParams {
+        checkpoint_interval_ms,
+        force_policy: if force {
+            ForcePolicy::Force
+        } else {
+            ForcePolicy::NoForce
+        },
+        log_truncation: if nvem_log {
+            LogTruncation::NvemResident
+        } else {
+            LogTruncation::DiskResident
+        },
+    };
+    if force {
+        config.buffer.update_strategy = UpdateStrategy::Force;
+    }
+    if nvem_log {
+        config.log_allocation = LogAllocation::Nvem;
+    }
     config
 }
 
@@ -451,6 +508,7 @@ pub fn trace_config(
         nvem: NvemParams::default(),
         devices,
         log_allocation,
+        recovery: RecoveryParams::disabled(),
         buffer,
         cc_modes,
         arrival_rate_tps,
@@ -533,6 +591,7 @@ pub fn contention_config(
             log_disk_unit(DiskUnitKind::Regular, 8, 1),
         ],
         log_allocation,
+        recovery: RecoveryParams::disabled(),
         buffer,
         cc_modes: vec![granularity; 2],
         arrival_rate_tps,
@@ -646,6 +705,34 @@ mod tests {
         assert_eq!(
             c.buffer.partitions[1].location,
             PageLocation::DiskUnit(DB_UNIT)
+        );
+    }
+
+    #[test]
+    fn recovery_presets_validate_for_all_variants() {
+        for force in [false, true] {
+            for nvem_log in [false, true] {
+                for interval in [0.0, 500.0] {
+                    let c = recovery_config(force, nvem_log, interval, 150.0);
+                    assert!(
+                        c.validate().is_ok(),
+                        "force={force} nvem_log={nvem_log} interval={interval}: {:?}",
+                        c.validate()
+                    );
+                    assert_eq!(c.recovery.enabled(), interval > 0.0);
+                }
+            }
+        }
+        let nvem = recovery_config(false, true, 1_000.0, 150.0);
+        assert_eq!(nvem.log_allocation, LogAllocation::Nvem);
+        assert_eq!(nvem.recovery.log_truncation, LogTruncation::NvemResident);
+        let force = recovery_config(true, false, 1_000.0, 150.0);
+        assert_eq!(force.buffer.update_strategy, UpdateStrategy::Force);
+        assert_eq!(force.recovery.force_policy, ForcePolicy::Force);
+        // With recovery disabled the base preset is unchanged.
+        assert_eq!(
+            recovery_config(false, false, 0.0, 150.0),
+            debit_credit_config(DebitCreditStorage::Disk, 150.0)
         );
     }
 

@@ -124,6 +124,13 @@ impl GlobalLockService {
         self.table.abort(tx)
     }
 
+    /// Crash recovery: clears the shared table (all holders and waiters died
+    /// with the system).  Returns the number of locks held at the crash.
+    /// Restart processing re-acquires locks through the same service.
+    pub fn crash_reset(&mut self) -> u64 {
+        self.table.crash_reset()
+    }
+
     /// The shared table's statistics (requests, conflicts, deadlocks).
     pub fn stats(&self) -> LockManagerStats {
         self.table.stats()

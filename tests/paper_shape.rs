@@ -15,10 +15,12 @@
 
 use tpsim::presets::{
     self, caching_config, data_sharing_config, debit_credit_config, debit_credit_workload,
-    log_allocation_config, DebitCreditStorage, LogVariant, SecondLevel, LOG_UNIT,
+    log_allocation_config, recovery_config, DebitCreditStorage, LogVariant, SecondLevel, LOG_UNIT,
 };
 use tpsim::{LogAllocation, Simulation, SimulationConfig, SimulationReport};
-use tpsim_bench::runner::{data_sharing_point, run_sweep, Family, RunSettings};
+use tpsim_bench::runner::{
+    data_sharing_point, recovery_point, run_recovery_crash, run_sweep, Family, RunSettings,
+};
 
 /// Shortens a configuration to test-friendly simulated durations and runs it
 /// against the scaled-down Debit-Credit database.
@@ -74,6 +76,69 @@ fn multi_node_sweep_is_byte_identical_in_parallel_and_serial() {
     for (s, p) in serial.iter().zip(parallel.iter()) {
         assert_eq!(s.series, p.series);
         assert_eq!(s.report, p.report, "series {} diverged", s.series);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the recovery dimension (cheap, always run)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crash_replay_is_deterministic_for_fixed_seed_and_crash_point() {
+    // Satellite guarantee of the recovery PR: the same seed and the same
+    // crash point must reproduce the complete report byte for byte,
+    // including the restart section.
+    let run = || {
+        let mut c = recovery_config(false, false, 400.0, 120.0);
+        c.warmup_ms = 300.0;
+        c.measure_ms = 1_500.0;
+        Simulation::new(c, debit_credit_workload(200))
+            .simulate_crash_at(1_600.0)
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "crash replay diverged for identical inputs");
+    let restart = a
+        .recovery
+        .as_ref()
+        .and_then(|r| r.restart.as_ref())
+        .expect("restart section present");
+    assert!(restart.restart_ms > 0.0);
+}
+
+#[test]
+fn recovery_sweep_is_byte_identical_in_parallel_and_serial() {
+    // The crash-and-restart family must preserve the parallel == serial
+    // sweep guarantee like every other family.
+    let mk_points = || {
+        [(false, false), (false, true), (true, false), (true, true)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(force, nvem_log))| {
+                (
+                    format!("variant-{i}"),
+                    i as f64,
+                    recovery_point(force, nvem_log, 500.0, 100.0),
+                    Family::RecoveryCrash,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut settings = RunSettings::quick();
+    settings.parallel = false;
+    let serial = run_sweep(&settings, mk_points());
+    settings.parallel = true;
+    settings.threads = 4;
+    let parallel = run_sweep(&settings, mk_points());
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(s.report, p.report, "series {} diverged", s.series);
+        assert!(s
+            .report
+            .recovery
+            .as_ref()
+            .is_some_and(|r| r.restart.is_some()));
     }
 }
 
@@ -199,6 +264,62 @@ fn table4_2_second_level_cache_raises_total_hit_ratio() {
         "combined hit ratio {} (with NVEM cache) vs {} (MM only)",
         combined_with_nvem,
         combined_mm_only
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6.x — restart time vs throughput (slow, release CI job)
+// ---------------------------------------------------------------------------
+
+#[test]
+#[ignore = "paper-shape suite: run with --release -- --ignored"]
+fn fig6_x_nvem_log_noforce_restarts_faster_at_equal_throughput() {
+    // The acceptance shape of the recovery PR: at a moderate rate (the
+    // eight-disk log unit is far from saturation) the NOFORCE variants reach
+    // the same throughput whether the log lives on disk or in NVEM, but the
+    // NVEM-resident log reads its redo tail back at NVEM speed, so its
+    // restart is clearly shorter.  FORCE trades the opposite way: a slower
+    // commit path, but restart degenerates to a log scan.
+    let mut settings = RunSettings::standard();
+    settings.debit_credit_scale = 100;
+    let rate = 150.0;
+    let disk = run_recovery_crash(&settings, recovery_point(false, false, 0.0, rate));
+    let nvem = run_recovery_crash(&settings, recovery_point(false, true, 0.0, rate));
+    let force = run_recovery_crash(&settings, recovery_point(true, false, 0.0, rate));
+
+    // Equal throughput: the log allocation is off the critical path.
+    assert!(
+        (disk.throughput_tps - nvem.throughput_tps).abs() < 0.1 * disk.throughput_tps,
+        "throughput should be equal: disk log {} TPS vs NVEM log {} TPS",
+        disk.throughput_tps,
+        nvem.throughput_tps
+    );
+    // ... but the NVEM-resident log restarts measurably faster.
+    assert!(
+        nvem.restart_ms() < 0.9 * disk.restart_ms(),
+        "NVEM log restart {} ms should clearly beat disk log restart {} ms",
+        nvem.restart_ms(),
+        disk.restart_ms()
+    );
+    // FORCE: no page redo at all, restart is a log scan.
+    let force_restart = force
+        .recovery
+        .as_ref()
+        .and_then(|r| r.restart.as_ref())
+        .expect("restart section");
+    assert_eq!(force_restart.dirty_pages_at_crash, 0);
+    assert!(
+        force.restart_ms() < disk.restart_ms(),
+        "FORCE restart {} ms vs NOFORCE restart {} ms",
+        force.restart_ms(),
+        disk.restart_ms()
+    );
+    // And the steady-state cost of that trade-off is visible too.
+    assert!(
+        force.response_time.mean > disk.response_time.mean,
+        "FORCE response {} ms should exceed NOFORCE response {} ms",
+        force.response_time.mean,
+        disk.response_time.mean
     );
 }
 
