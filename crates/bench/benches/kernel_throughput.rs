@@ -1,0 +1,89 @@
+//! Kernel hot-path throughput: the calendar event queue in isolation, and
+//! whole-engine event throughput on representative configurations.
+//!
+//! Two groups:
+//!
+//! * `event_queue` — the classic *hold model* directly against
+//!   [`simkernel::EventQueue`]: a fixed event population, each pop schedules
+//!   one replacement.  This isolates the future event list from the rest of
+//!   the engine (the structure the calendar queue replaced a binary heap in).
+//! * `engine` — complete simulation runs (single-node quickstart point and
+//!   the 8-node fig5.x point), reporting the kernel's events/sec via
+//!   [`tpsim::Simulation::run_profiled`].
+//!
+//! ```bash
+//! cargo bench -p tpsim-bench --bench kernel_throughput
+//! ```
+
+mod common;
+
+use tpsim_bench::microbench::{black_box, Criterion};
+use tpsim_bench::runner::{self, Family, RunSettings};
+
+use simkernel::{EventQueue, SimRng};
+
+/// One hold-model iteration: `churn` pop+schedule pairs over a primed queue.
+fn hold_model(population: usize, churn: usize) -> f64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = SimRng::seed_from(42);
+    for i in 0..population {
+        q.schedule_at(rng.exponential(5.0), i as u64);
+    }
+    let mut checksum = 0.0;
+    for i in 0..churn {
+        let e = q.pop().expect("population never drains");
+        checksum += e.time;
+        q.schedule_in(rng.exponential(5.0), (population + i) as u64);
+    }
+    checksum
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_hold");
+    for population in [64usize, 1_024, 16_384] {
+        group.bench_function(format!("population {population}"), |b| {
+            b.iter(|| black_box(hold_model(population, 200_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut settings = RunSettings::full();
+    settings.parallel = false;
+    let mut group = c.benchmark_group("engine_events_per_sec");
+    for (label, config) in [
+        (
+            "quickstart/disk".to_string(),
+            runner::fig4_2_point(tpsim::presets::DebitCreditStorage::Disk, 100.0),
+        ),
+        (
+            "fig5.x/8-nodes".to_string(),
+            runner::data_sharing_point(8, 60.0),
+        ),
+    ] {
+        group.bench_function(label.clone(), |b| {
+            b.iter(|| {
+                let (report, profile) =
+                    runner::run_point_profiled(&settings, config.clone(), Family::DebitCredit);
+                black_box((report.completed, profile.events))
+            })
+        });
+        // One extra profiled run to print the kernel-level numbers the
+        // ms/iter summary cannot show.
+        let (_, profile) =
+            runner::run_point_profiled(&settings, config.clone(), Family::DebitCredit);
+        eprintln!(
+            "bench engine_events_per_sec/{label:<32} {:>12} events {:>12.0} events/sec",
+            profile.events, profile.events_per_sec
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench_event_queue(&mut c);
+    bench_engine(&mut c);
+    c.final_summary();
+}

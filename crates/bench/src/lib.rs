@@ -17,7 +17,9 @@
 
 pub mod experiments;
 pub mod microbench;
+pub mod profile;
 pub mod runner;
 
 pub use experiments::{all_experiments, Experiment, ExperimentResult};
-pub use runner::{RunSettings, SweepPoint};
+pub use profile::{kernel_profile_suite, ProfilePoint};
+pub use runner::{ProfiledSweepPoint, RunSettings, SweepPoint};

@@ -1,0 +1,298 @@
+//! Kernel wall-clock profiling: the `--profile` mode of the experiments
+//! binary and the perf-smoke baseline gate.
+//!
+//! The profile suite runs a fixed set of representative configurations —
+//! the fig5.x node-scaling sweep plus a quickstart-style single-node point
+//! and a fig6.x crash-replay point — several times each, keeps the best
+//! (least-noisy) run per point and emits `BENCH_kernel.json` at the repo
+//! root.  The committed file is the perf trajectory of the repository: CI
+//! re-measures the suite and fails when events/sec drops more than the
+//! configured tolerance below the committed numbers, and each PR that moves
+//! the numbers appends its before/after to the `history` section.
+//!
+//! The JSON is written *and* parsed by this module (the workspace has no
+//! serde); the parser only understands the flat shape emitted here, which is
+//! exactly what the baseline gate needs.
+
+use std::fmt::Write as _;
+
+use crate::runner::{self, Family, RunSettings};
+use tpsim::SimulationConfig;
+
+/// One measured point of the profile suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfilePoint {
+    /// Stable point id (e.g. `fig5.x/8-nodes`), the key CI compares on.
+    pub id: String,
+    /// Events popped by the simulation kernel.
+    pub events: u64,
+    /// Best observed wall-clock time (ms).
+    pub wall_ms: f64,
+    /// Best observed events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// The fixed configurations of the profile suite, as `(id, config, family)`.
+fn suite_points() -> Vec<(String, SimulationConfig, Family)> {
+    let mut points: Vec<(String, SimulationConfig, Family)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&n| {
+            (
+                format!("fig5.x/{n}-nodes"),
+                runner::data_sharing_point(n, 60.0),
+                Family::DebitCredit,
+            )
+        })
+        .collect();
+    points.push((
+        "quickstart/disk".to_string(),
+        runner::fig4_2_point(tpsim::presets::DebitCreditStorage::Disk, 100.0),
+        Family::DebitCredit,
+    ));
+    points.push((
+        "fig6.x/noforce-disk-log".to_string(),
+        runner::recovery_point(false, false, 500.0, 150.0),
+        Family::RecoveryCrash,
+    ));
+    points
+}
+
+/// Runs the profile suite at full experiment scale: every point `reps` times
+/// sequentially, keeping the fastest run (wall-clock noise is one-sided).
+pub fn kernel_profile_suite(reps: usize) -> Vec<ProfilePoint> {
+    let mut settings = RunSettings::full();
+    settings.parallel = false;
+    let reps = reps.max(1);
+    suite_points()
+        .into_iter()
+        .map(|(id, mut config, family)| {
+            // Derive the seed exactly as a one-point sweep would, so the
+            // simulated workload (and its event count) matches what
+            // `run_sweep_profiled` of the same point produces and the
+            // committed baseline stays comparable.
+            config.seed = runner::derive_run_seed(config.seed, 0);
+            let mut best: Option<ProfilePoint> = None;
+            for _ in 0..reps {
+                let (_, p) = runner::run_point_profiled(&settings, config.clone(), family);
+                let candidate = ProfilePoint {
+                    id: id.clone(),
+                    events: p.events,
+                    wall_ms: p.wall_ms,
+                    events_per_sec: p.events_per_sec,
+                };
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| candidate.events_per_sec > b.events_per_sec);
+                if better {
+                    best = Some(candidate);
+                }
+            }
+            best.expect("at least one rep")
+        })
+        .collect()
+}
+
+/// One labelled snapshot in the `history` section.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// Snapshot label (e.g. `PR4-pre: binary heap + hashmap engine`).
+    pub label: String,
+    /// The snapshot's measured points.
+    pub points: Vec<ProfilePoint>,
+}
+
+fn render_points(out: &mut String, points: &[ProfilePoint], indent: &str) {
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "{indent}{{\"id\": \"{}\", \"events\": {}, \"wall_ms\": {:.3}, \
+             \"events_per_sec\": {:.0}}}{comma}",
+            p.id, p.events, p.wall_ms, p.events_per_sec
+        );
+    }
+}
+
+/// Renders `BENCH_kernel.json`: the current baseline points plus the
+/// historical snapshots.
+pub fn render_bench_json(points: &[ProfilePoint], history: &[HistoryEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(
+        "  \"description\": \"Kernel wall-clock baseline: events/sec per profile-suite point \
+         (regenerate: cargo run --release -p tpsim-bench --bin experiments -- --profile)\",\n",
+    );
+    out.push_str("  \"points\": [\n");
+    render_points(&mut out, points, "    ");
+    out.push_str("  ],\n");
+    out.push_str("  \"history\": [\n");
+    for (i, h) in history.iter().enumerate() {
+        let comma = if i + 1 < history.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{\"label\": \"{}\", \"points\": [", h.label);
+        render_points(&mut out, &h.points, "      ");
+        let _ = writeln!(out, "    ]}}{comma}");
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the *top-level* `points` array of a `BENCH_kernel.json` produced by
+/// [`render_bench_json`], returning `(id, events_per_sec)` pairs.  History
+/// entries are ignored.  Returns an error for files this module did not
+/// write.
+pub fn parse_baseline(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let start = json
+        .find("\"points\": [")
+        .ok_or("no top-level \"points\" array")?;
+    let tail = &json[start..];
+    let end = tail.find(']').ok_or("unterminated points array")?;
+    let body = &tail[..end];
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let id = extract_str(line, "id").ok_or_else(|| format!("no id in: {line}"))?;
+        let eps = extract_num(line, "events_per_sec")
+            .ok_or_else(|| format!("no events_per_sec in: {line}"))?;
+        out.push((id, eps));
+    }
+    if out.is_empty() {
+        return Err("empty points array".to_string());
+    }
+    Ok(out)
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares a fresh suite run against the committed baseline: every baseline
+/// point re-measured in `fresh` must reach at least `1 - tolerance` of its
+/// committed events/sec.  Returns a human-readable table on success and the
+/// offending points on failure.
+pub fn check_against_baseline(
+    fresh: &[ProfilePoint],
+    baseline: &[(String, f64)],
+    tolerance: f64,
+) -> Result<String, String> {
+    let mut table = String::new();
+    let mut failures = Vec::new();
+    let _ = writeln!(
+        table,
+        "{:<26} {:>16} {:>16} {:>8}",
+        "point", "baseline [ev/s]", "fresh [ev/s]", "ratio"
+    );
+    for (id, base_eps) in baseline {
+        let Some(f) = fresh.iter().find(|p| &p.id == id) else {
+            failures.push(format!("point {id} missing from the fresh run"));
+            continue;
+        };
+        let ratio = f.events_per_sec / base_eps.max(1e-9);
+        let _ = writeln!(
+            table,
+            "{:<26} {:>16.0} {:>16.0} {:>8.2}",
+            id, base_eps, f.events_per_sec, ratio
+        );
+        if ratio < 1.0 - tolerance {
+            failures.push(format!(
+                "{id}: events/sec dropped to {ratio:.2}x of the committed baseline \
+                 ({:.0} vs {base_eps:.0})",
+                f.events_per_sec
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(table)
+    } else {
+        Err(format!(
+            "{table}\nperf regression:\n{}",
+            failures.join("\n")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points() -> Vec<ProfilePoint> {
+        vec![
+            ProfilePoint {
+                id: "fig5.x/8-nodes".to_string(),
+                events: 1_000_000,
+                wall_ms: 50.0,
+                events_per_sec: 20_000_000.0,
+            },
+            ProfilePoint {
+                id: "quickstart/disk".to_string(),
+                events: 123_456,
+                wall_ms: 10.5,
+                events_per_sec: 11_757_714.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let history = vec![HistoryEntry {
+            label: "PR4-pre".to_string(),
+            points: vec![ProfilePoint {
+                id: "fig5.x/8-nodes".to_string(),
+                events: 1_000_000,
+                wall_ms: 100.0,
+                events_per_sec: 10_000_000.0,
+            }],
+        }];
+        let json = render_bench_json(&sample_points(), &history);
+        let parsed = parse_baseline(&json).expect("parse own output");
+        // Only the top-level points, not the history snapshot.
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "fig5.x/8-nodes");
+        assert!((parsed[0].1 - 20_000_000.0).abs() < 1.0);
+        assert_eq!(parsed[1].0, "quickstart/disk");
+    }
+
+    #[test]
+    fn baseline_gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = vec![("fig5.x/8-nodes".to_string(), 20_000_000.0)];
+        let mut fresh = sample_points();
+        // 80% of baseline at 30% tolerance: fine.
+        fresh[0].events_per_sec = 16_000_000.0;
+        assert!(check_against_baseline(&fresh, &baseline, 0.3).is_ok());
+        // 60% of baseline: regression.
+        fresh[0].events_per_sec = 12_000_000.0;
+        let err = check_against_baseline(&fresh, &baseline, 0.3).unwrap_err();
+        assert!(err.contains("perf regression"), "{err}");
+        // A missing point is a failure too.
+        let missing = vec![("gone".to_string(), 1.0)];
+        assert!(check_against_baseline(&fresh, &missing, 0.3).is_err());
+    }
+
+    #[test]
+    fn suite_covers_the_fig5x_sweep() {
+        let ids: Vec<String> = suite_points().into_iter().map(|(id, _, _)| id).collect();
+        for n in [1, 2, 4, 8] {
+            assert!(ids.contains(&format!("fig5.x/{n}-nodes")));
+        }
+        assert!(ids.iter().any(|i| i.starts_with("quickstart/")));
+        assert!(ids.iter().any(|i| i.starts_with("fig6.x/")));
+    }
+}

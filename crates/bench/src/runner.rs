@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use tpsim::presets::{self, DebitCreditStorage, LogVariant, SecondLevel, TraceStorage};
-use tpsim::{Simulation, SimulationConfig, SimulationReport};
+use tpsim::{KernelProfile, Simulation, SimulationConfig, SimulationReport};
 
 use lockmgr::CcMode;
 use tpsim::presets::ContentionAllocation;
@@ -111,24 +111,29 @@ pub struct SweepPoint {
     pub report: SimulationReport,
 }
 
+/// A sweep point plus the kernel's wall-clock profile for it (`--profile`
+/// mode of the sweep runner).
+#[derive(Debug, Clone)]
+pub struct ProfiledSweepPoint {
+    /// The simulated point.
+    pub point: SweepPoint,
+    /// Wall-clock ms and events/sec of the run that produced it.
+    pub profile: KernelProfile,
+}
+
 /// Runs one Debit-Credit point.
 pub fn run_debit_credit(settings: &RunSettings, config: SimulationConfig) -> SimulationReport {
-    let config = settings.apply(config);
-    let workload = presets::debit_credit_workload(settings.debit_credit_scale);
-    Simulation::new(config, workload).run()
+    run_point_profiled(settings, config, Family::DebitCredit).0
 }
 
 /// Runs one trace-replay point.
 pub fn run_trace(settings: &RunSettings, config: SimulationConfig) -> SimulationReport {
-    let config = settings.apply(config);
-    let workload = presets::trace_workload(settings.trace_scale, 7);
-    Simulation::new(config, workload).run()
+    run_point_profiled(settings, config, Family::Trace).0
 }
 
 /// Runs one lock-contention point.
 pub fn run_contention(settings: &RunSettings, config: SimulationConfig) -> SimulationReport {
-    let config = settings.apply(config);
-    Simulation::new(config, presets::contention_workload()).run()
+    run_point_profiled(settings, config, Family::Contention).0
 }
 
 /// Where in the measurement interval the recovery experiments crash the
@@ -140,12 +145,38 @@ pub const CRASH_AT_FRACTION: f64 = 0.9;
 /// [`CRASH_AT_FRACTION`] of the measurement interval, producing a report
 /// with a restart section.
 pub fn run_recovery_crash(settings: &RunSettings, config: SimulationConfig) -> SimulationReport {
+    run_point_profiled(settings, config, Family::RecoveryCrash).0
+}
+
+/// Runs one point of the given workload family, also measuring the kernel's
+/// wall-clock event throughput (the `--profile` substrate: every profiled
+/// sweep and the perf-smoke suite go through here).
+pub fn run_point_profiled(
+    settings: &RunSettings,
+    config: SimulationConfig,
+    family: Family,
+) -> (SimulationReport, KernelProfile) {
     let config = settings.apply(config);
-    let crash_at = config.warmup_ms + CRASH_AT_FRACTION * config.measure_ms;
-    let workload = presets::debit_credit_workload(settings.debit_credit_scale);
-    Simulation::new(config, workload)
-        .simulate_crash_at(crash_at)
-        .run()
+    match family {
+        Family::DebitCredit => {
+            let workload = presets::debit_credit_workload(settings.debit_credit_scale);
+            Simulation::new(config, workload).run_profiled()
+        }
+        Family::Trace => {
+            let workload = presets::trace_workload(settings.trace_scale, 7);
+            Simulation::new(config, workload).run_profiled()
+        }
+        Family::Contention => {
+            Simulation::new(config, presets::contention_workload()).run_profiled()
+        }
+        Family::RecoveryCrash => {
+            let crash_at = config.warmup_ms + CRASH_AT_FRACTION * config.measure_ms;
+            let workload = presets::debit_credit_workload(settings.debit_credit_scale);
+            Simulation::new(config, workload)
+                .simulate_crash_at(crash_at)
+                .run_profiled()
+        }
+    }
 }
 
 /// Which workload family a sweep point belongs to.
@@ -185,6 +216,20 @@ pub fn run_sweep(
     settings: &RunSettings,
     points: Vec<(String, f64, SimulationConfig, Family)>,
 ) -> Vec<SweepPoint> {
+    run_sweep_profiled(settings, points)
+        .into_iter()
+        .map(|p| p.point)
+        .collect()
+}
+
+/// [`run_sweep`] with per-point kernel profiles: every report is accompanied
+/// by the wall-clock ms and events/sec of the run that produced it.  The
+/// reports (and their order) are identical to [`run_sweep`]'s; only the
+/// wall-clock measurements differ run to run.
+pub fn run_sweep_profiled(
+    settings: &RunSettings,
+    points: Vec<(String, f64, SimulationConfig, Family)>,
+) -> Vec<ProfiledSweepPoint> {
     let jobs: Vec<(String, f64, SimulationConfig, Family)> = points
         .into_iter()
         .enumerate()
@@ -194,13 +239,11 @@ pub fn run_sweep(
         })
         .collect();
     let run_one = |(series, x, config, family): (String, f64, SimulationConfig, Family)| {
-        let report = match family {
-            Family::DebitCredit => run_debit_credit(settings, config),
-            Family::Trace => run_trace(settings, config),
-            Family::Contention => run_contention(settings, config),
-            Family::RecoveryCrash => run_recovery_crash(settings, config),
-        };
-        SweepPoint { series, x, report }
+        let (report, profile) = run_point_profiled(settings, config, family);
+        ProfiledSweepPoint {
+            point: SweepPoint { series, x, report },
+            profile,
+        }
     };
     if !settings.parallel || jobs.len() <= 1 {
         return jobs.into_iter().map(run_one).collect();
@@ -214,7 +257,8 @@ pub fn run_sweep(
     }
     .min(jobs.len());
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SweepPoint>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<ProfiledSweepPoint>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {

@@ -1,0 +1,349 @@
+//! Slab arenas for the engine's hot per-event state.
+//!
+//! The seed engine kept in-flight I/O requests in a `HashMap<u64, IoRequest>`
+//! and re-allocated a fresh [`Transaction`] (with its micro-operation deque)
+//! for every arrival.  Both sit on the per-event hot path, so this module
+//! replaces them with dense slab arenas:
+//!
+//! * [`IoArena`] — in-flight I/O requests under stable `u32` ids: the id *is*
+//!   the slot index, so the per-event lookups in the I/O path are plain `Vec`
+//!   indexing.  Freed slots are recycled LIFO.
+//! * [`TxArena`] — transaction slots.  A completed transaction's carcass
+//!   stays in place and is *reused* by the next arrival on the slot, so its
+//!   micro-operation deque's capacity survives and steady-state arrivals
+//!   allocate nothing.
+//! * [`TemplateTable`] — the shared transaction-template table.  The SOURCE
+//!   interns each generated template once; the input queue and the
+//!   transaction slots hold `u32` indices instead of owning (and moving)
+//!   reference strings, and per-template derived data (update flag, distinct
+//!   written pages) is computed exactly once instead of at every commit.
+//!
+//! Slot recycling is deterministic (LIFO free lists, no hashing), and no
+//! arena id ever reaches the lock manager — the lock manager keeps the
+//! globally unique transaction ids whose numeric order defines its wake-up
+//! order.
+
+use dbmodel::{PageId, TransactionTemplate};
+use simkernel::time::SimTime;
+
+use super::iorequest::IoRequest;
+use super::transaction::Transaction;
+
+/// In-flight I/O requests under stable `u32` ids.
+///
+/// An id stays valid until the request completes ([`IoArena::remove`]); every
+/// live request is referenced by exactly one pending event *or* one resource
+/// queue position, so recycled slots can never be reached through a stale id.
+#[derive(Default)]
+pub(crate) struct IoArena {
+    slots: Vec<Option<IoRequest>>,
+    free: Vec<u32>,
+}
+
+impl IoArena {
+    /// Registers a request and returns its id.
+    pub fn insert(&mut self, io: IoRequest) -> u32 {
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id as usize].is_none());
+                self.slots[id as usize] = Some(io);
+                id
+            }
+            None => {
+                self.slots.push(Some(io));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// The live request `id`, if any.
+    #[inline]
+    pub fn get(&self, id: u32) -> Option<&IoRequest> {
+        self.slots.get(id as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the live request `id`, if any.
+    #[inline]
+    pub fn get_mut(&mut self, id: u32) -> Option<&mut IoRequest> {
+        self.slots.get_mut(id as usize).and_then(Option::as_mut)
+    }
+
+    /// Completes request `id`, freeing its slot for reuse.
+    ///
+    /// # Panics
+    /// Panics if `id` is not live.
+    pub fn remove(&mut self, id: u32) -> IoRequest {
+        let io = self.slots[id as usize].take().expect("live io request");
+        self.free.push(id);
+        io
+    }
+
+    /// Iterates the live requests (diagnostics and warm-up resets).
+    #[cfg(test)]
+    pub fn live(&self) -> impl Iterator<Item = &IoRequest> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Iterates the live requests mutably (end-of-warm-up reset).
+    pub fn live_mut(&mut self) -> impl Iterator<Item = &mut IoRequest> {
+        self.slots.iter_mut().filter_map(Option::as_mut)
+    }
+}
+
+/// Transaction slots with carcass reuse.
+///
+/// Mirrors the seed's `Vec<Option<Transaction>> + free_slots + slot_nodes`
+/// triple, but a released slot keeps its [`Transaction`] in place so the next
+/// arrival on the slot reuses the allocation.  Because the carcass survives
+/// release, its `node` field doubles as the seed's `slot_nodes` side table:
+/// late events can still route to the right node's resources.
+#[derive(Default)]
+pub(crate) struct TxArena {
+    slots: Vec<Transaction>,
+    live: Vec<bool>,
+    free: Vec<usize>,
+}
+
+impl TxArena {
+    /// The live transaction in `slot`, or `None` for freed/unknown slots
+    /// (late events referencing a completed transaction).
+    #[cfg(test)]
+    pub fn get(&self, slot: usize) -> Option<&Transaction> {
+        self.live
+            .get(slot)
+            .copied()
+            .unwrap_or(false)
+            .then(|| &self.slots[slot])
+    }
+
+    /// Mutable access to the live transaction in `slot`, or `None`.
+    #[inline]
+    pub fn get_mut(&mut self, slot: usize) -> Option<&mut Transaction> {
+        if self.live.get(slot).copied().unwrap_or(false) {
+            Some(&mut self.slots[slot])
+        } else {
+            None
+        }
+    }
+
+    /// The live transaction in `slot`.
+    ///
+    /// # Panics
+    /// Panics if the slot is free.
+    #[inline]
+    pub fn tx(&self, slot: usize) -> &Transaction {
+        assert!(self.live[slot], "live transaction");
+        &self.slots[slot]
+    }
+
+    /// Mutable access to the live transaction in `slot`.
+    ///
+    /// # Panics
+    /// Panics if the slot is free.
+    #[inline]
+    pub fn tx_mut(&mut self, slot: usize) -> &mut Transaction {
+        assert!(self.live[slot], "live transaction");
+        &mut self.slots[slot]
+    }
+
+    /// True if `slot` holds a live transaction.
+    #[inline]
+    pub fn is_live(&self, slot: usize) -> bool {
+        self.live.get(slot).copied().unwrap_or(false)
+    }
+
+    /// The node that last owned `slot` (valid even after release: the
+    /// carcass stays in place and its `node` field is only rewritten at the
+    /// next activation).
+    #[inline]
+    pub fn node_of(&self, slot: usize) -> usize {
+        self.slots[slot].node
+    }
+
+    /// Admits a transaction, reusing a freed slot (and its carcass's
+    /// allocations) when one exists.  Returns the slot.
+    pub fn activate(&mut self, id: u64, node: usize, template: u32, arrival: SimTime) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(!self.live[slot]);
+                self.slots[slot].reuse(id, node, template, arrival);
+                self.live[slot] = true;
+                slot
+            }
+            None => {
+                self.slots
+                    .push(Transaction::new(id, node, template, arrival));
+                self.live.push(true);
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Releases `slot` for reuse.  The carcass stays in place.
+    pub fn release(&mut self, slot: usize) {
+        debug_assert!(self.live[slot]);
+        self.live[slot] = false;
+        self.free.push(slot);
+    }
+}
+
+/// One interned transaction template with its derived per-template data.
+pub(crate) struct TemplateEntry {
+    /// The reference string.
+    pub template: TransactionTemplate,
+    /// Distinct `(partition, page)` pairs written, sorted; computed once at
+    /// interning instead of at every FORCE / invalidation / redo use.
+    pub written_pages: Vec<(usize, PageId)>,
+    /// Whether any reference writes.
+    pub is_update: bool,
+}
+
+/// The shared transaction-template table.
+#[derive(Default)]
+pub(crate) struct TemplateTable {
+    entries: Vec<TemplateEntry>,
+    free: Vec<u32>,
+}
+
+impl TemplateTable {
+    /// Interns a generated template, precomputing its derived data.  Returns
+    /// the table index; freed entries (and their `written_pages` buffers) are
+    /// reused.
+    pub fn insert(&mut self, template: TransactionTemplate) -> u32 {
+        match self.free.pop() {
+            Some(id) => {
+                let entry = &mut self.entries[id as usize];
+                entry.template = template;
+                entry.is_update = entry.template.is_update();
+                Self::collect_written_pages(&entry.template, &mut entry.written_pages);
+                id
+            }
+            None => {
+                let is_update = template.is_update();
+                let mut written_pages = Vec::new();
+                Self::collect_written_pages(&template, &mut written_pages);
+                self.entries.push(TemplateEntry {
+                    template,
+                    written_pages,
+                    is_update,
+                });
+                (self.entries.len() - 1) as u32
+            }
+        }
+    }
+
+    /// The interned entry `id`.
+    #[inline]
+    pub fn entry(&self, id: u32) -> &TemplateEntry {
+        &self.entries[id as usize]
+    }
+
+    /// Releases entry `id` for reuse.
+    pub fn free(&mut self, id: u32) {
+        self.free.push(id);
+    }
+
+    fn collect_written_pages(template: &TransactionTemplate, out: &mut Vec<(usize, PageId)>) {
+        out.clear();
+        out.extend(
+            template
+                .refs
+                .iter()
+                .filter(|r| r.mode.is_write())
+                .map(|r| (r.partition, r.page)),
+        );
+        out.sort_unstable_by_key(|(p, page)| (*p, page.0));
+        out.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbmodel::{AccessMode, ObjectId, ObjectRef};
+    use storage::ServiceStage;
+
+    #[test]
+    fn io_arena_recycles_slots_lifo() {
+        let mut arena = IoArena::default();
+        let mk = || IoRequest::new(0, PageId(1), vec![ServiceStage::Disk(1.0)], None);
+        let a = arena.insert(mk());
+        let b = arena.insert(mk());
+        assert_ne!(a, b);
+        arena.remove(a);
+        assert!(arena.get(a).is_none());
+        assert!(arena.get(b).is_some());
+        let c = arena.insert(mk());
+        assert_eq!(c, a, "freed slot must be reused LIFO");
+        assert_eq!(arena.live().count(), 2);
+    }
+
+    #[test]
+    fn tx_arena_reuses_carcasses_and_remembers_nodes() {
+        let mut arena = TxArena::default();
+        let s0 = arena.activate(1, 2, 0, 0.0);
+        assert!(arena.is_live(s0));
+        assert_eq!(arena.node_of(s0), 2);
+        arena
+            .tx_mut(s0)
+            .micro
+            .push_back(super::super::transaction::MicroOp::Complete);
+        arena.release(s0);
+        assert!(!arena.is_live(s0));
+        assert!(arena.get(s0).is_none());
+        // The node routing survives release (late events).
+        assert_eq!(arena.node_of(s0), 2);
+        let s1 = arena.activate(2, 0, 3, 5.0);
+        assert_eq!(s1, s0, "carcass must be reused");
+        let tx = arena.tx(s1);
+        assert_eq!((tx.id, tx.node, tx.template, tx.arrival), (2, 0, 3, 5.0));
+        assert!(tx.micro.is_empty(), "reuse must clear the micro queue");
+    }
+
+    #[test]
+    fn template_table_precomputes_written_pages() {
+        let template = TransactionTemplate {
+            tx_type: 0,
+            refs: vec![
+                ObjectRef {
+                    partition: 1,
+                    page: PageId(5),
+                    object: ObjectId(50),
+                    mode: AccessMode::Write,
+                },
+                ObjectRef {
+                    partition: 0,
+                    page: PageId(9),
+                    object: ObjectId(90),
+                    mode: AccessMode::Read,
+                },
+                ObjectRef {
+                    partition: 1,
+                    page: PageId(5),
+                    object: ObjectId(51),
+                    mode: AccessMode::Write,
+                },
+            ],
+        };
+        let mut table = TemplateTable::default();
+        let id = table.insert(template);
+        let entry = table.entry(id);
+        assert!(entry.is_update);
+        assert_eq!(entry.written_pages, vec![(1, PageId(5))]);
+        table.free(id);
+        let read_only = TransactionTemplate {
+            tx_type: 1,
+            refs: vec![ObjectRef {
+                partition: 0,
+                page: PageId(1),
+                object: ObjectId(1),
+                mode: AccessMode::Read,
+            }],
+        };
+        let id2 = table.insert(read_only);
+        assert_eq!(id2, id, "freed entry must be reused");
+        let entry = table.entry(id2);
+        assert!(!entry.is_update);
+        assert!(entry.written_pages.is_empty());
+    }
+}

@@ -2,7 +2,7 @@
 //! final report (aggregate plus one [`NodeReport`] per computing module).
 
 use dbmodel::WorkloadGenerator;
-use simkernel::stats::TimeWeighted;
+use simkernel::stats::{Tally, TimeWeighted};
 use simkernel::time::SimTime;
 
 use crate::metrics::{
@@ -28,7 +28,14 @@ impl<W: WorkloadGenerator> Simulation<W> {
         let resp = now - arrival;
         self.response.record(resp);
         self.response_hist.record(resp);
-        self.per_type.entry(tx_type).or_default().record(resp);
+        let slot = match self.per_type.binary_search_by_key(&tx_type, |(ty, _)| *ty) {
+            Ok(i) => i,
+            Err(i) => {
+                self.per_type.insert(i, (tx_type, Tally::new()));
+                i
+            }
+        };
+        self.per_type[slot].1.record(resp);
         self.completed += 1;
         self.nodes[node].response.record(resp);
         self.nodes[node].completed += 1;
@@ -55,6 +62,12 @@ impl<W: WorkloadGenerator> Simulation<W> {
         self.lockmgr.reset_stats();
         if let Some(rec) = self.recovery.as_mut() {
             rec.reset_stats();
+            // Forget the issue stamps of in-flight checkpoint writes: their
+            // (partly pre-warm-up) latency must not leak into the measured
+            // checkpoint overhead.
+            for io in self.ios.live_mut() {
+                io.checkpoint_issued_at = None;
+            }
         }
         for node in &mut self.nodes {
             node.cpus.reset_stats(now);
@@ -95,7 +108,9 @@ impl<W: WorkloadGenerator> Simulation<W> {
         } else {
             ResponseTimeStats::empty()
         };
-        let mut per_type: Vec<TxTypeReport> = self
+        // Kept sorted by type at insertion, so the report order needs no
+        // extra sort; only types that completed ever get an entry.
+        let per_type: Vec<TxTypeReport> = self
             .per_type
             .iter()
             .map(|(ty, tally)| TxTypeReport {
@@ -104,7 +119,6 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 mean_response: tally.mean().unwrap_or(0.0),
             })
             .collect();
-        per_type.sort_by_key(|t| t.tx_type);
 
         // After a crash, the device and lock counters frozen at the crash
         // instant are reported instead of the live ones, so the restart

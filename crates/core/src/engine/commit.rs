@@ -12,7 +12,8 @@
 //! `cm.group_commit_timeout_ms`; all members resume when that write
 //! completes.  This trades a small commit latency for a large reduction in
 //! log-device traffic, lifting the single-log-disk throughput ceiling of
-//! Fig. 4.1.
+//! Fig. 4.1.  The batch members are parked on the group log write's own
+//! [`IoRequest`](super::iorequest::IoRequest) until it completes.
 
 use dbmodel::{PageId, WorkloadGenerator};
 use storage::IoKind;
@@ -99,10 +100,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 }
             }
         };
-        self.txs[slot]
-            .as_mut()
-            .expect("live transaction")
-            .push_ops_front(ops);
+        self.txs.tx_mut(slot).push_ops_front(ops);
         Flow::Continue
     }
 
@@ -120,7 +118,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
     /// Adds the committing transaction in `slot` to the open group-commit
     /// batch for the log device `unit`, flushing the batch when it is full.
     pub(super) fn join_commit_group(&mut self, slot: usize, unit: usize) -> Flow {
-        self.txs[slot].as_mut().expect("live transaction").state = TxState::WaitingIo;
+        self.txs.tx_mut(slot).state = TxState::WaitingIo;
         self.commit_group.push(slot);
         self.commit_group_unit = unit;
         if self.commit_group.len() >= self.config.cm.group_commit_size {
@@ -144,8 +142,8 @@ impl<W: WorkloadGenerator> Simulation<W> {
         self.flush_commit_group();
     }
 
-    /// Writes one log page for every member of the open batch and parks the
-    /// members until the write completes.
+    /// Writes one log page for the whole open batch and parks the members on
+    /// the write's request until it completes.
     fn flush_commit_group(&mut self) {
         let unit = self.commit_group_unit;
         let members = std::mem::take(&mut self.commit_group);
@@ -155,31 +153,28 @@ impl<W: WorkloadGenerator> Simulation<W> {
         }
         self.log_group_writes += 1;
         let page = self.next_log_page();
-        let io_id = self.issue_detached_io(unit, IoKind::Write, page);
-        // The write may complete synchronously only through an empty stage
-        // list, which devices never produce; the id is always still live
-        // here, but be defensive and wake immediately if not.
-        if self.ios.contains_key(&io_id) {
-            self.group_waiters.insert(io_id, members);
-        } else {
-            self.wake_slots(&members);
-        }
+        // The members ride on the write's request itself, attached before
+        // its first stage runs, so even a synchronously completing write
+        // wakes the whole batch.
+        self.issue_group_commit_io(unit, page, members);
     }
 
-    /// Releases a batch whose group log write completed.
-    pub(super) fn wake_commit_group(&mut self, io_id: u64) {
-        if let Some(members) = self.group_waiters.remove(&io_id) {
-            self.wake_slots(&members);
-        }
-    }
-
-    fn wake_slots(&mut self, slots: &[usize]) {
+    pub(super) fn wake_slots(&mut self, slots: &[usize]) {
         for &slot in slots {
-            if let Some(tx) = self.txs.get_mut(slot).and_then(Option::as_mut) {
+            if let Some(tx) = self.txs.get_mut(slot) {
                 tx.state = TxState::Ready;
                 self.ready.push_back(slot);
             }
         }
+    }
+
+    /// Number of group log writes currently in flight (test diagnostic).
+    #[cfg(test)]
+    pub(super) fn group_writes_in_flight(&self) -> usize {
+        self.ios
+            .live()
+            .filter(|io| !io.group_waiters.is_empty())
+            .count()
     }
 
     // ------------------------------------------------------------------
@@ -187,19 +182,14 @@ impl<W: WorkloadGenerator> Simulation<W> {
     // ------------------------------------------------------------------
 
     pub(super) fn op_force_pages(&mut self, slot: usize) -> Flow {
-        let (node, pages) = {
-            let tx = self.txs[slot].as_ref().expect("live transaction");
-            (tx.node, tx.written_pages())
-        };
+        let node = self.txs.tx(slot).node;
+        let template = self.txs.tx(slot).template;
         let mut page_ops = Vec::new();
-        for (partition, page) in pages {
+        for &(partition, page) in &self.templates.entry(template).written_pages {
             page_ops.extend(self.nodes[node].bufmgr.force_page(partition, page));
         }
         let ops = self.convert_page_ops(&page_ops);
-        self.txs[slot]
-            .as_mut()
-            .expect("live transaction")
-            .push_ops_front(ops);
+        self.txs.tx_mut(slot).push_ops_front(ops);
         Flow::Continue
     }
 
@@ -212,27 +202,20 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // table.  No-op while the recovery subsystem is inactive.
         self.record_redo(slot);
         let now = self.queue.now();
-        let (tx_id, node, arrival, tx_type, is_update) = {
-            let tx = self.txs[slot].as_ref().expect("live transaction");
-            (
-                tx.id,
-                tx.node,
-                tx.arrival,
-                tx.template.tx_type,
-                tx.template.is_update(),
-            )
+        let (tx_id, node, arrival, template) = {
+            let tx = self.txs.tx(slot);
+            (tx.id, tx.node, tx.arrival, tx.template)
         };
+        let entry = self.templates.entry(template);
+        let tx_type = entry.template.tx_type;
+        let is_update = entry.is_update;
         // Data sharing: a committed update invalidates stale copies of the
         // written pages in every *other* node's buffer pool.  Stale copies
         // are dropped without a write-back even when dirty (NOFORCE): the
         // committing node holds the current version and propagates it
         // itself, so only the latest owner ever writes the page.
-        if self.num_nodes() > 1 && is_update {
-            let pages = self.txs[slot]
-                .as_ref()
-                .expect("live transaction")
-                .written_pages();
-            for (_, page) in pages {
+        if self.nodes.len() > 1 && is_update {
+            for &(_, page) in &self.templates.entry(template).written_pages {
                 for (other, node_rt) in self.nodes.iter_mut().enumerate() {
                     if other != node {
                         node_rt.bufmgr.invalidate_page(page);
@@ -249,10 +232,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // Statistics.
         self.record_completion(now, node, arrival, tx_type);
 
-        // Free the slot.
+        // Free the slot (the carcass stays for reuse) and the template entry.
         self.id_to_slot.remove(&tx_id);
-        self.txs[slot] = None;
-        self.free_slots.push(slot);
+        self.txs.release(slot);
+        self.templates.free(template);
         self.nodes[node].active_count -= 1;
         self.total_active -= 1;
         self.active_tw.record(now, self.total_active as f64);

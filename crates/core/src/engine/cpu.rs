@@ -20,18 +20,18 @@ impl<W: WorkloadGenerator> Simulation<W> {
             self.nvem_busy += self.config.nvem.access_time;
         }
         let node = {
-            let tx = self.txs[slot].as_mut().expect("live transaction");
+            let tx = self.txs.tx_mut(slot);
             tx.pending_burst = ms;
             tx.pending_burst_nvem = nvem;
             tx.node
         };
         match self.nodes[node].cpus.acquire(now, slot as u64) {
             Acquire::Granted => {
-                self.txs[slot].as_mut().expect("live transaction").state = TxState::RunningCpu;
+                self.txs.tx_mut(slot).state = TxState::RunningCpu;
                 self.queue.schedule_in(ms, Ev::CpuDone(slot));
             }
             Acquire::Queued => {
-                self.txs[slot].as_mut().expect("live transaction").state = TxState::WaitingCpu;
+                self.txs.tx_mut(slot).state = TxState::WaitingCpu;
             }
         }
         Flow::Blocked
@@ -43,13 +43,13 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // Free the CPU and hand it to the node's next queued burst, if any.
         if let Some(next) = self.nodes[node].cpus.release(now) {
             let nslot = next as usize;
-            if let Some(tx) = self.txs[nslot].as_mut() {
+            if let Some(tx) = self.txs.get_mut(nslot) {
                 tx.state = TxState::RunningCpu;
                 let burst = tx.pending_burst;
                 self.queue.schedule_in(burst, Ev::CpuDone(nslot));
             }
         }
-        if let Some(tx) = self.txs[slot].as_mut() {
+        if let Some(tx) = self.txs.get_mut(slot) {
             tx.state = TxState::Ready;
             self.ready.push_back(slot);
         }

@@ -23,7 +23,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
     /// Drains the ready queue, advancing every runnable transaction.
     pub(super) fn process_ready(&mut self) {
         while let Some(slot) = self.ready.pop_front() {
-            if self.txs.get(slot).map(|t| t.is_some()).unwrap_or(false) {
+            if self.txs.is_live(slot) {
                 self.advance(slot);
             }
         }
@@ -31,7 +31,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
 
     fn advance(&mut self, slot: usize) {
         loop {
-            let op = match self.txs[slot].as_mut().and_then(|t| t.micro.pop_front()) {
+            let op = match self.txs.tx_mut(slot).micro.pop_front() {
                 Some(op) => op,
                 None => {
                     if !self.advance_phase(slot) {
@@ -52,13 +52,14 @@ impl<W: WorkloadGenerator> Simulation<W> {
     fn advance_phase(&mut self, slot: usize) -> bool {
         let cm = self.config.cm;
         let (phase, num_refs, is_update) = {
-            let tx = self.txs[slot].as_ref().expect("live transaction");
-            (tx.phase, tx.template.len(), tx.template.is_update())
+            let tx = self.txs.tx(slot);
+            let entry = self.templates.entry(tx.template);
+            (tx.phase, entry.template.len(), entry.is_update)
         };
         match phase {
             TxPhase::BeforeAccess { next_ref } if next_ref < num_refs => {
                 let or = instr_time(self.service_rng.exponential(cm.instr_or), cm.mips);
-                let tx = self.txs[slot].as_mut().expect("live transaction");
+                let tx = self.txs.tx_mut(slot);
                 tx.micro.push_back(MicroOp::CpuBurst {
                     ms: or,
                     nvem: false,
@@ -73,7 +74,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 // All object references done: commit processing.
                 let eot = instr_time(self.service_rng.exponential(cm.instr_eot), cm.mips);
                 let force = self.config.buffer.update_strategy == UpdateStrategy::Force;
-                let tx = self.txs[slot].as_mut().expect("live transaction");
+                let tx = self.txs.tx_mut(slot);
                 tx.micro.push_back(MicroOp::CpuBurst {
                     ms: eot,
                     nvem: false,
@@ -114,7 +115,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
 
     /// Pure delay: the message round trip of a remote lock request.
     fn op_remote_delay(&mut self, slot: usize, ms: SimTime) -> Flow {
-        self.txs[slot].as_mut().expect("live transaction").state = TxState::WaitingMessage;
+        self.txs.tx_mut(slot).state = TxState::WaitingMessage;
         self.queue.schedule_in(ms, Ev::MsgDone(slot));
         Flow::Blocked
     }
@@ -122,7 +123,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
     /// The message round trip finished: resume the transaction (its next
     /// micro operation is the deferred lock request).
     pub(super) fn handle_msg_done(&mut self, slot: usize) {
-        if let Some(tx) = self.txs.get_mut(slot).and_then(Option::as_mut) {
+        if let Some(tx) = self.txs.get_mut(slot) {
             tx.state = TxState::Ready;
             self.ready.push_back(slot);
         }
@@ -130,14 +131,20 @@ impl<W: WorkloadGenerator> Simulation<W> {
 
     fn op_lock(&mut self, slot: usize, ref_idx: usize) -> Flow {
         let (tx_id, node, obj_ref, msg_paid) = {
-            let tx = self.txs[slot].as_ref().expect("live transaction");
-            (tx.id, tx.node, tx.template.refs[ref_idx], tx.lock_msg_paid)
+            let tx = self.txs.tx(slot);
+            let entry = self.templates.entry(tx.template);
+            (
+                tx.id,
+                tx.node,
+                entry.template.refs[ref_idx],
+                tx.lock_msg_paid,
+            )
         };
         // Remote request: pay the message round trip to the global lock
         // service first, then retry the lock operation.
         if !msg_paid && self.lockmgr.needs_lock(&obj_ref) {
             if let Some(round_trip) = self.lockmgr.remote_round_trip(node) {
-                let tx = self.txs[slot].as_mut().expect("live transaction");
+                let tx = self.txs.tx_mut(slot);
                 tx.lock_msg_paid = true;
                 tx.push_ops_front(vec![
                     MicroOp::RemoteDelay { ms: round_trip },
@@ -147,10 +154,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             }
         }
         if msg_paid {
-            self.txs[slot]
-                .as_mut()
-                .expect("live transaction")
-                .lock_msg_paid = false;
+            self.txs.tx_mut(slot).lock_msg_paid = false;
         }
         // Count the per-node remote request at the same instant the service
         // counts its side (the acquire), so the two stay consistent across a
@@ -164,7 +168,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 Flow::Continue
             }
             LockOutcome::Blocked => {
-                let tx = self.txs[slot].as_mut().expect("live transaction");
+                let tx = self.txs.tx_mut(slot);
                 tx.pending_lock_ref = Some(ref_idx);
                 tx.state = TxState::WaitingLock;
                 Flow::Blocked
@@ -179,7 +183,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
                     self.service_rng.exponential(self.config.cm.instr_bot),
                     self.config.cm.mips,
                 );
-                let tx = self.txs[slot].as_mut().expect("live transaction");
+                let tx = self.txs.tx_mut(slot);
                 tx.restart();
                 tx.micro.push_back(MicroOp::CpuBurst {
                     ms: bot,
@@ -196,7 +200,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 continue;
             };
             let ref_idx = {
-                let tx = self.txs[slot].as_mut().expect("live transaction");
+                let tx = self.txs.tx_mut(slot);
                 tx.state = TxState::Ready;
                 tx.pending_lock_ref.take()
             };
@@ -212,8 +216,11 @@ impl<W: WorkloadGenerator> Simulation<W> {
     /// storage operations.
     fn buffer_fetch(&mut self, slot: usize, ref_idx: usize) {
         let (node, obj_ref) = {
-            let tx = self.txs[slot].as_ref().expect("live transaction");
-            (tx.node, tx.template.refs[ref_idx])
+            let tx = self.txs.tx(slot);
+            (
+                tx.node,
+                self.templates.entry(tx.template).template.refs[ref_idx],
+            )
         };
         let outcome = self.nodes[node].bufmgr.reference_page(
             obj_ref.partition,
@@ -221,9 +228,6 @@ impl<W: WorkloadGenerator> Simulation<W> {
             obj_ref.mode.is_write(),
         );
         let ops = self.convert_page_ops(&outcome.ops);
-        self.txs[slot]
-            .as_mut()
-            .expect("live transaction")
-            .push_ops_front(ops);
+        self.txs.tx_mut(slot).push_ops_front(ops);
     }
 }

@@ -8,6 +8,10 @@
 //! asynchronous writes, releases group-commit batches and spawns background
 //! destages.
 //!
+//! Requests live in the engine's [`IoArena`](super::arena::IoArena): the
+//! `u32` request id carried by every `IoStage` event and resource token is a
+//! plain slot index, so the per-event lookups here never hash.
+//!
 //! [`StorageDevice`]: storage::StorageDevice
 
 use bufmgr::PageOp;
@@ -88,10 +92,8 @@ impl<W: WorkloadGenerator> Simulation<W> {
         waiter: Option<usize>,
         notify: bool,
         log_wb: bool,
-    ) -> u64 {
+    ) -> u32 {
         let decision = self.units[unit].device.request(kind, page);
-        let io_id = self.next_io_id;
-        self.next_io_id += 1;
         let mut io = IoRequest::new(unit, page, decision.foreground, waiter)
             .with_background(decision.background)
             .for_node(node);
@@ -101,7 +103,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
         if log_wb {
             io = io.with_log_wb();
         }
-        self.ios.insert(io_id, io);
+        let io_id = self.ios.insert(io);
         self.advance_io(io_id);
         io_id
     }
@@ -120,7 +122,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
         let node = self.node_of(slot);
         self.start_io(node, unit, kind, page, wait.then_some(slot), notify, log_wb);
         if wait {
-            self.txs[slot].as_mut().expect("live transaction").state = TxState::WaitingIo;
+            self.txs.tx_mut(slot).state = TxState::WaitingIo;
             Flow::Blocked
         } else {
             Flow::Continue
@@ -128,71 +130,85 @@ impl<W: WorkloadGenerator> Simulation<W> {
     }
 
     /// Issues an I/O that is not tied to a single waiting transaction (used
-    /// for group-commit log writes); returns the request id.
-    pub(super) fn issue_detached_io(&mut self, unit: usize, kind: IoKind, page: PageId) -> u64 {
+    /// for checkpoint log writes); returns the request id.
+    pub(super) fn issue_detached_io(&mut self, unit: usize, kind: IoKind, page: PageId) -> u32 {
         self.start_io(0, unit, kind, page, None, false, false)
     }
 
-    pub(super) fn advance_io(&mut self, io_id: u64) {
+    /// Issues the shared log write of a group-commit batch with its member
+    /// slots already parked on it.  Attaching the waiters *before* the first
+    /// stage runs means even a synchronously completing request wakes the
+    /// batch correctly (a late attach could alias a recycled arena slot).
+    pub(super) fn issue_group_commit_io(&mut self, unit: usize, page: PageId, members: Vec<usize>) {
+        let decision = self.units[unit].device.request(IoKind::Write, page);
+        let mut io = IoRequest::new(unit, page, decision.foreground, None)
+            .with_background(decision.background);
+        io.group_waiters = members;
+        let io_id = self.ios.insert(io);
+        self.advance_io(io_id);
+    }
+
+    pub(super) fn advance_io(&mut self, io_id: u32) {
         let now = self.queue.now();
         let (unit, next_stage) = {
-            let io = self.ios.get_mut(&io_id).expect("live io request");
-            (io.unit, io.remaining.pop_front())
+            let io = self.ios.get_mut(io_id).expect("live io request");
+            (io.unit, io.pop_stage())
         };
         match next_stage {
             None => self.complete_io(io_id),
             Some(ServiceStage::Controller(t)) => {
                 {
-                    let io = self.ios.get_mut(&io_id).expect("live io request");
+                    let io = self.ios.get_mut(io_id).expect("live io request");
                     io.held = Some(HeldResource::Controller);
                     io.pending_service = t;
                 }
-                if self.units[unit].controllers.acquire(now, io_id) == Acquire::Granted {
+                if self.units[unit].controllers.acquire(now, u64::from(io_id)) == Acquire::Granted {
                     self.queue.schedule_in(t, Ev::IoStage(io_id));
                 }
             }
             Some(ServiceStage::Disk(t)) => {
                 {
-                    let io = self.ios.get_mut(&io_id).expect("live io request");
+                    let io = self.ios.get_mut(io_id).expect("live io request");
                     io.held = Some(HeldResource::Disk);
                     io.pending_service = t;
                 }
-                if self.units[unit].disks.acquire(now, io_id) == Acquire::Granted {
+                if self.units[unit].disks.acquire(now, u64::from(io_id)) == Acquire::Granted {
                     self.queue.schedule_in(t, Ev::IoStage(io_id));
                 }
             }
             Some(ServiceStage::Transmission(t)) => {
-                self.ios.get_mut(&io_id).expect("live io request").held = None;
+                self.ios.get_mut(io_id).expect("live io request").held = None;
                 self.queue.schedule_in(t, Ev::IoStage(io_id));
             }
         }
     }
 
-    pub(super) fn handle_io_stage(&mut self, io_id: u64) {
+    pub(super) fn handle_io_stage(&mut self, io_id: u32) {
         let now = self.queue.now();
-        let held_info = self.ios.get(&io_id).map(|io| (io.held, io.unit));
+        let held_info = self.ios.get(io_id).map(|io| (io.held, io.unit));
         if let Some((Some(held), unit)) = held_info {
             let granted = match held {
                 HeldResource::Controller => self.units[unit].controllers.release(now),
                 HeldResource::Disk => self.units[unit].disks.release(now),
             };
             if let Some(next_io) = granted {
+                let next_io = next_io as u32;
                 let service = self
                     .ios
-                    .get(&next_io)
+                    .get(next_io)
                     .map(|io| io.pending_service)
                     .unwrap_or(0.0);
                 self.queue.schedule_in(service, Ev::IoStage(next_io));
             }
-            if let Some(io) = self.ios.get_mut(&io_id) {
+            if let Some(io) = self.ios.get_mut(io_id) {
                 io.held = None;
             }
         }
         self.advance_io(io_id);
     }
 
-    fn complete_io(&mut self, io_id: u64) {
-        let io = self.ios.remove(&io_id).expect("live io request");
+    fn complete_io(&mut self, io_id: u32) {
+        let io = self.ios.remove(io_id);
         if io.is_destage {
             self.units[io.unit].device.destage_complete(io.page);
         }
@@ -213,27 +229,27 @@ impl<W: WorkloadGenerator> Simulation<W> {
         }
         // A completed checkpoint log write contributes its measured latency
         // (including queueing) to the checkpoint overhead.
-        if let Some(rec) = self.recovery.as_mut() {
-            if let Some(issued) = rec.checkpoint_ios.remove(&io_id) {
+        if let Some(issued) = io.checkpoint_issued_at {
+            if let Some(rec) = self.recovery.as_mut() {
                 rec.checkpoint_overhead_ms += self.queue.now() - issued;
             }
         }
         if !io.background.is_empty() {
-            let bg_id = self.next_io_id;
-            self.next_io_id += 1;
             let bg = IoRequest::new(io.unit, io.page, io.background, None)
                 .for_node(io.node)
                 .into_destage();
-            self.ios.insert(bg_id, bg);
+            let bg_id = self.ios.insert(bg);
             self.advance_io(bg_id);
         }
         if let Some(slot) = io.waiter {
-            if let Some(tx) = self.txs.get_mut(slot).and_then(Option::as_mut) {
+            if let Some(tx) = self.txs.get_mut(slot) {
                 tx.state = TxState::Ready;
                 self.ready.push_back(slot);
             }
         }
-        // Wake a whole group-commit batch waiting on this log write.
-        self.wake_commit_group(io_id);
+        // Wake a whole group-commit batch parked on this log write.
+        if !io.group_waiters.is_empty() {
+            self.wake_slots(&io.group_waiters);
+        }
     }
 }

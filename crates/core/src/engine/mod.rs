@@ -16,6 +16,13 @@
 //! stale buffer copies at commit.  A single-node run is exactly the paper's
 //! centralized system.
 //!
+//! **Hot path**: the future event list is an indexed calendar queue
+//! ([`simkernel::EventQueue`]), and the per-event state lives in slab arenas
+//! (the private `arena` module) — in-flight I/O requests under stable `u32`
+//! ids, transaction slots with carcass reuse, and a shared
+//! transaction-template table — so steady-state event handling performs no
+//! hashing and (after warm-up) no allocation.
+//!
 //! The engine is split into focused subsystems; this module only defines the
 //! shared state and dispatches events:
 //!
@@ -34,6 +41,7 @@
 //! * `collect` — statistics collection and the final report (aggregate and
 //!   per node).
 
+mod arena;
 mod collect;
 mod commit;
 mod cpu;
@@ -48,9 +56,10 @@ mod transaction;
 mod tests;
 
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 use bufmgr::BufferManager;
-use dbmodel::{TransactionTemplate, WorkloadGenerator};
+use dbmodel::WorkloadGenerator;
 use lockmgr::{GlobalLockService, GlobalLockStats, LockManagerStats};
 use simkernel::stats::{Histogram, Tally, TimeWeighted};
 use simkernel::time::{interarrival_ms, SimTime};
@@ -58,11 +67,10 @@ use simkernel::{EventQueue, Resource, SimRng};
 use storage::{DiskUnitStats, StorageDevice};
 
 use crate::config::SimulationConfig;
-use crate::metrics::SimulationReport;
+use crate::metrics::{KernelProfile, SimulationReport};
 use crate::recovery::RecoveryRuntime;
 
-use iorequest::IoRequest;
-use transaction::Transaction;
+use arena::{IoArena, TemplateTable, TxArena};
 
 /// Events of the simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,7 +80,7 @@ enum Ev {
     /// The CPU burst of the transaction in the given slot finished.
     CpuDone(usize),
     /// The current service stage of the given I/O request finished.
-    IoStage(u64),
+    IoStage(u32),
     /// The message round trip of the transaction in the given slot finished.
     MsgDone(usize),
     /// Flush the open group-commit batch with the given sequence number if it
@@ -124,11 +132,12 @@ struct CrashStatsSnapshot {
 /// Runtime state of one computing module (node): its CPU servers, local
 /// buffer pool, input queue and per-node statistics.  A single-node run has
 /// exactly one of these and behaves bit-identically to the pre-data-sharing
-/// engine.
+/// engine.  The input queue holds indices into the engine's shared template
+/// table, not owned reference strings.
 struct NodeRuntime {
     cpus: Resource,
     bufmgr: BufferManager,
-    input_queue: VecDeque<(TransactionTemplate, SimTime)>,
+    input_queue: VecDeque<(u32, SimTime)>,
     active_count: usize,
 
     // Per-node statistics.
@@ -161,7 +170,9 @@ impl NodeRuntime {
 
 /// A complete TPSIM simulation run.
 ///
-/// Construct with [`Simulation::new`], execute with [`Simulation::run`].
+/// Construct with [`Simulation::new`], execute with [`Simulation::run`] (or
+/// [`Simulation::run_profiled`] to also measure the kernel's wall-clock
+/// event throughput).
 pub struct Simulation<W: WorkloadGenerator> {
     config: SimulationConfig,
     workload: W,
@@ -177,12 +188,12 @@ pub struct Simulation<W: WorkloadGenerator> {
     units: Vec<UnitRuntime>,
     lockmgr: GlobalLockService,
 
-    // Transactions.
-    txs: Vec<Option<Transaction>>,
-    /// Node that last owned each slot (survives slot release, so late events
-    /// can still route to the right node's resources).
-    slot_nodes: Vec<usize>,
-    free_slots: Vec<usize>,
+    // Transactions: slot arena plus the shared template table.  The lock
+    // manager keeps the globally unique `u64` ids (their numeric order is its
+    // wake-up order), so `id_to_slot` maps them back to arena slots when
+    // lock waiters are woken.
+    txs: TxArena,
+    templates: TemplateTable,
     id_to_slot: HashMap<u64, usize>,
     next_tx_id: u64,
     ready: VecDeque<usize>,
@@ -196,22 +207,20 @@ pub struct Simulation<W: WorkloadGenerator> {
     /// Running sum of the per-node input-queue lengths.
     total_queued: usize,
 
-    // I/O requests.
-    ios: HashMap<u64, IoRequest>,
-    next_io_id: u64,
+    // In-flight I/O requests (stable u32 ids; see `arena::IoArena`).
+    ios: IoArena,
 
     // Log bookkeeping (the log device is shared by all nodes).
     next_log_page: u64,
     log_wb_pending: usize,
 
     // Group commit: slots waiting in the currently open batch, the log
-    // device the batch will be written to, the batch's sequence number
-    // (stale flush timeouts are ignored), and the slots waiting on each
-    // in-flight group log write.
+    // device the batch will be written to, and the batch's sequence number
+    // (stale flush timeouts are ignored).  The slots waiting on an in-flight
+    // group log write are parked on the write's `IoRequest` itself.
     commit_group: Vec<usize>,
     commit_group_unit: usize,
     commit_group_seq: u64,
-    group_waiters: HashMap<u64, Vec<usize>>,
 
     // Run control.
     end_time: SimTime,
@@ -233,7 +242,11 @@ pub struct Simulation<W: WorkloadGenerator> {
     // single-node report is identical to the per-node one).
     response: Tally,
     response_hist: Histogram,
-    per_type: HashMap<usize, Tally>,
+    /// Per-transaction-type response tallies, sorted by `tx_type`.  A sorted
+    /// small vec (binary-search lookup) instead of a `HashMap`: the distinct
+    /// type count is tiny, and unlike direct indexing it stays bounded for
+    /// workload generators with sparse large type ids.
+    per_type: Vec<(usize, Tally)>,
     completed: u64,
     aborts: u64,
     log_group_writes: u64,
@@ -291,23 +304,20 @@ impl<W: WorkloadGenerator> Simulation<W> {
             nodes,
             units,
             lockmgr,
-            txs: Vec::new(),
-            slot_nodes: Vec::new(),
-            free_slots: Vec::new(),
+            txs: TxArena::default(),
+            templates: TemplateTable::default(),
             id_to_slot: HashMap::new(),
             next_tx_id: 1,
             ready: VecDeque::new(),
             next_arrival_node: 0,
             total_active: 0,
             total_queued: 0,
-            ios: HashMap::new(),
-            next_io_id: 1,
+            ios: IoArena::default(),
             next_log_page: u64::MAX,
             log_wb_pending: 0,
             commit_group: Vec::new(),
             commit_group_unit: 0,
             commit_group_seq: 0,
-            group_waiters: HashMap::new(),
             end_time,
             warmup_done: false,
             measure_start: config.warmup_ms,
@@ -318,7 +328,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             crash_stats: None,
             response: Tally::new(),
             response_hist: Histogram::new(2.0, 5_000),
-            per_type: HashMap::new(),
+            per_type: Vec::new(),
             completed: 0,
             aborts: 0,
             log_group_writes: 0,
@@ -376,11 +386,19 @@ impl<W: WorkloadGenerator> Simulation<W> {
 
     /// The node the transaction in `slot` runs on.
     fn node_of(&self, slot: usize) -> usize {
-        self.slot_nodes[slot]
+        self.txs.node_of(slot)
     }
 
     /// Runs the simulation to completion and produces the report.
-    pub fn run(mut self) -> SimulationReport {
+    pub fn run(self) -> SimulationReport {
+        self.run_profiled().0
+    }
+
+    /// Runs the simulation to completion, also measuring the kernel's
+    /// wall-clock event throughput (events popped, wall-clock ms,
+    /// events/sec).  The report is identical to [`Simulation::run`]'s.
+    pub fn run_profiled(mut self) -> (SimulationReport, KernelProfile) {
+        let wall_start = Instant::now();
         self.active_tw.record(0.0, 0.0);
         self.inputq_tw.record(0.0, 0.0);
         for node in &mut self.nodes {
@@ -419,11 +437,14 @@ impl<W: WorkloadGenerator> Simulation<W> {
             }
             self.process_ready();
         }
+        let events = self.queue.popped_total();
         let restart = if self.crashed {
             Some(self.perform_restart())
         } else {
             None
         };
-        self.build_report(restart)
+        let report = self.build_report(restart);
+        let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+        (report, KernelProfile::new(events, wall_ms))
     }
 }

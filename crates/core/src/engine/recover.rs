@@ -59,12 +59,12 @@ impl<W: WorkloadGenerator> Simulation<W> {
         if self.recovery.is_none() {
             return;
         }
-        let (node, pages) = {
-            let tx = self.txs[slot].as_ref().expect("live transaction");
-            (tx.node, tx.written_pages())
+        let (node, template) = {
+            let tx = self.txs.tx(slot);
+            (tx.node, tx.template)
         };
         let rec = self.recovery.as_mut().expect("recovery runtime");
-        for (partition, page) in pages {
+        for &(partition, page) in &self.templates.entry(template).written_pages {
             let lsn = rec.redo.append(node, partition, page);
             self.nodes[node]
                 .bufmgr
@@ -108,8 +108,11 @@ impl<W: WorkloadGenerator> Simulation<W> {
             LogAllocation::DiskUnit(unit) => {
                 let page = self.next_log_page();
                 let io_id = self.issue_detached_io(unit, IoKind::Write, page);
-                let rec = self.recovery.as_mut().expect("recovery runtime");
-                rec.checkpoint_ios.insert(io_id, now);
+                // The request carries its issue time itself; completion
+                // charges the measured latency as checkpoint overhead.
+                if let Some(io) = self.ios.get_mut(io_id) {
+                    io.checkpoint_issued_at = Some(now);
+                }
             }
         }
         let next = now + self.config.recovery.checkpoint_interval_ms;

@@ -8,11 +8,17 @@
 //! excess arrivals wait in the owning node's input queue (admission control).
 //! A slot freed at commit immediately admits the oldest transaction waiting
 //! at that node.
+//!
+//! Generated templates are interned into the engine's shared
+//! [`TemplateTable`](super::arena::TemplateTable) on arrival; the input
+//! queues and transaction slots only carry `u32` indices.
 
-use dbmodel::{TransactionTemplate, WorkloadGenerator};
+#[cfg(test)]
+use dbmodel::TransactionTemplate;
+use dbmodel::WorkloadGenerator;
 use simkernel::time::{instr_time, interarrival_ms, SimTime};
 
-use super::transaction::{MicroOp, Transaction};
+use super::transaction::MicroOp;
 use super::{Ev, Simulation};
 
 impl<W: WorkloadGenerator> Simulation<W> {
@@ -31,10 +37,11 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // Generate the transaction and assign it to a node.
         match self.workload.next_transaction(&mut self.workload_rng) {
             Some(template) => {
+                let template = self.templates.insert(template);
                 let node = self.next_arrival_node;
                 self.next_arrival_node = (self.next_arrival_node + 1) % self.num_nodes();
                 if self.nodes[node].active_count < self.config.cm.mpl {
-                    self.activate(node, template, now);
+                    self.activate_interned(node, template, now);
                 } else {
                     self.nodes[node].input_queue.push_back((template, now));
                     self.total_queued += 1;
@@ -48,38 +55,35 @@ impl<W: WorkloadGenerator> Simulation<W> {
         }
     }
 
-    /// Admits a transaction at `node`: assigns a slot, queues its BOT
-    /// processing and marks it ready.
+    /// Admits a transaction at `node` from an un-interned template (test and
+    /// direct-manipulation entry point).
+    #[cfg(test)]
     pub(super) fn activate(
         &mut self,
         node: usize,
         template: TransactionTemplate,
         arrival: SimTime,
     ) {
+        let template = self.templates.insert(template);
+        self.activate_interned(node, template, arrival);
+    }
+
+    /// Admits a transaction at `node`: assigns a slot (reusing a completed
+    /// transaction's carcass when one is free), queues its BOT processing and
+    /// marks it ready.
+    pub(super) fn activate_interned(&mut self, node: usize, template: u32, arrival: SimTime) {
         let now = self.queue.now();
         let id = self.next_tx_id;
         self.next_tx_id += 1;
-        let mut tx = Transaction::new(id, node, template, arrival);
         let bot = instr_time(
             self.service_rng.exponential(self.config.cm.instr_bot),
             self.config.cm.mips,
         );
-        tx.micro.push_back(MicroOp::CpuBurst {
+        let slot = self.txs.activate(id, node, template, arrival);
+        self.txs.tx_mut(slot).micro.push_back(MicroOp::CpuBurst {
             ms: bot,
             nvem: false,
         });
-        let slot = match self.free_slots.pop() {
-            Some(s) => {
-                self.txs[s] = Some(tx);
-                self.slot_nodes[s] = node;
-                s
-            }
-            None => {
-                self.txs.push(Some(tx));
-                self.slot_nodes.push(node);
-                self.txs.len() - 1
-            }
-        };
         self.id_to_slot.insert(id, slot);
         self.nodes[node].active_count += 1;
         self.total_active += 1;
@@ -96,7 +100,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
         if let Some((template, arrival)) = self.nodes[node].input_queue.pop_front() {
             self.total_queued -= 1;
             self.record_input_queue(node, now);
-            self.activate(node, template, arrival);
+            self.activate_interned(node, template, arrival);
         }
     }
 

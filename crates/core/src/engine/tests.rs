@@ -309,7 +309,11 @@ fn stale_group_commit_timeout_is_a_noop_and_never_flushes_a_newer_batch() {
     assert_eq!(sim.join_commit_group(1, LOG_UNIT), Flow::Blocked);
     assert_eq!(sim.commit_group_seq, seq0 + 1);
     assert!(sim.commit_group.is_empty());
-    assert_eq!(sim.group_waiters.len(), 1, "one group log write in flight");
+    assert_eq!(
+        sim.group_writes_in_flight(),
+        1,
+        "one group log write in flight"
+    );
     // Slot 2 opens the next batch (seq 1).
     assert_eq!(sim.join_commit_group(2, LOG_UNIT), Flow::Blocked);
     assert_eq!(sim.commit_group.len(), 1);
@@ -317,14 +321,14 @@ fn stale_group_commit_timeout_is_a_noop_and_never_flushes_a_newer_batch() {
     // neither flush the newer batch early nor disturb the in-flight write.
     sim.handle_group_commit_flush(seq0);
     assert_eq!(sim.commit_group.len(), 1, "newer batch flushed early");
-    assert_eq!(sim.group_waiters.len(), 1);
+    assert_eq!(sim.group_writes_in_flight(), 1);
     // The newer batch's own timeout flushes it ...
     sim.handle_group_commit_flush(seq0 + 1);
     assert!(sim.commit_group.is_empty());
-    assert_eq!(sim.group_waiters.len(), 2);
+    assert_eq!(sim.group_writes_in_flight(), 2);
     // ... and a late duplicate timeout for it is a no-op as well.
     sim.handle_group_commit_flush(seq0 + 1);
-    assert_eq!(sim.group_waiters.len(), 2);
+    assert_eq!(sim.group_writes_in_flight(), 2);
     assert_eq!(sim.log_group_writes, 2);
 }
 
@@ -371,9 +375,10 @@ fn log_wb_completion_decrements_occupancy() {
     );
     sim.log_wb_pending = 2;
     // An empty stage list completes immediately on advance.
-    sim.ios
-        .insert(91, IoRequest::new(0, PageId(7), vec![], None).with_log_wb());
-    sim.advance_io(91);
+    let io_id = sim
+        .ios
+        .insert(IoRequest::new(0, PageId(7), vec![], None).with_log_wb());
+    sim.advance_io(io_id);
     assert_eq!(sim.log_wb_pending, 1);
 }
 
@@ -387,9 +392,10 @@ fn log_wb_underflow_is_surfaced_in_debug_builds() {
     assert_eq!(sim.log_wb_pending, 0);
     // A log write-buffer completion without a matching reservation is an
     // accounting bug and must assert instead of clamping silently.
-    sim.ios
-        .insert(92, IoRequest::new(0, PageId(8), vec![], None).with_log_wb());
-    sim.advance_io(92);
+    let io_id = sim
+        .ios
+        .insert(IoRequest::new(0, PageId(8), vec![], None).with_log_wb());
+    sim.advance_io(io_id);
 }
 
 // ---------------------------------------------------------------------------

@@ -5,10 +5,16 @@
 //! processing (EOT burst, log write, FORCE writes, lock release).  The engine
 //! drives this as a queue of *micro operations*; whenever the queue runs dry
 //! the transaction's phase generates the next batch.
+//!
+//! The transaction does not own its reference string: `template` indexes the
+//! engine's shared [`TemplateTable`], which also carries the per-template
+//! derived data (update flag, distinct written pages).
+//!
+//! [`TemplateTable`]: super::arena::TemplateTable
 
 use std::collections::VecDeque;
 
-use dbmodel::{PageId, TransactionTemplate};
+use dbmodel::PageId;
 use simkernel::time::SimTime;
 use storage::IoKind;
 
@@ -77,12 +83,15 @@ pub(crate) enum TxState {
 /// The dynamic state of one active transaction.
 #[derive(Debug)]
 pub(crate) struct Transaction {
-    /// Globally unique transaction identifier (used by the lock manager).
+    /// Globally unique transaction identifier (used by the lock manager; its
+    /// numeric order defines the lock manager's wake-up order, so it is
+    /// never replaced by an arena index).
     pub id: u64,
     /// The computing module (node) the transaction runs on.
     pub node: usize,
-    /// The transaction's reference string.
-    pub template: TransactionTemplate,
+    /// Index of the transaction's reference string in the engine's shared
+    /// template table.
+    pub template: u32,
     /// Arrival time at the SOURCE (response time is measured from here).
     pub arrival: SimTime,
     /// Coarse phase.
@@ -106,7 +115,7 @@ pub(crate) struct Transaction {
 
 impl Transaction {
     /// Creates a freshly arrived transaction on `node`.
-    pub fn new(id: u64, node: usize, template: TransactionTemplate, arrival: SimTime) -> Self {
+    pub fn new(id: u64, node: usize, template: u32, arrival: SimTime) -> Self {
         Self {
             id,
             node,
@@ -121,6 +130,23 @@ impl Transaction {
             lock_msg_paid: false,
             restarts: 0,
         }
+    }
+
+    /// Re-initialises a completed transaction's carcass for the next arrival
+    /// on its slot, keeping the micro queue's allocation.
+    pub fn reuse(&mut self, id: u64, node: usize, template: u32, arrival: SimTime) {
+        self.id = id;
+        self.node = node;
+        self.template = template;
+        self.arrival = arrival;
+        self.phase = TxPhase::BeforeAccess { next_ref: 0 };
+        self.micro.clear();
+        self.state = TxState::Ready;
+        self.pending_burst = 0.0;
+        self.pending_burst_nvem = false;
+        self.pending_lock_ref = None;
+        self.lock_msg_paid = false;
+        self.restarts = 0;
     }
 
     /// Resets the transaction for a restart after a deadlock abort.  The
@@ -143,63 +169,15 @@ impl Transaction {
             self.micro.push_front(op);
         }
     }
-
-    /// Distinct (partition, page) pairs written by the transaction, used by
-    /// the FORCE strategy at commit.
-    pub fn written_pages(&self) -> Vec<(usize, PageId)> {
-        let mut pages: Vec<(usize, PageId)> = self
-            .template
-            .refs
-            .iter()
-            .filter(|r| r.mode.is_write())
-            .map(|r| (r.partition, r.page))
-            .collect();
-        pages.sort_unstable_by_key(|(p, page)| (*p, page.0));
-        pages.dedup();
-        pages
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbmodel::{AccessMode, ObjectId, ObjectRef};
-
-    fn template() -> TransactionTemplate {
-        TransactionTemplate {
-            tx_type: 0,
-            refs: vec![
-                ObjectRef {
-                    partition: 0,
-                    page: PageId(1),
-                    object: ObjectId(10),
-                    mode: AccessMode::Write,
-                },
-                ObjectRef {
-                    partition: 1,
-                    page: PageId(2),
-                    object: ObjectId(20),
-                    mode: AccessMode::Read,
-                },
-                ObjectRef {
-                    partition: 0,
-                    page: PageId(1),
-                    object: ObjectId(11),
-                    mode: AccessMode::Write,
-                },
-            ],
-        }
-    }
-
-    #[test]
-    fn written_pages_are_distinct() {
-        let tx = Transaction::new(1, 0, template(), 0.0);
-        assert_eq!(tx.written_pages(), vec![(0, PageId(1))]);
-    }
 
     #[test]
     fn restart_resets_progress_but_keeps_arrival() {
-        let mut tx = Transaction::new(1, 0, template(), 42.0);
+        let mut tx = Transaction::new(1, 0, 7, 42.0);
         tx.phase = TxPhase::Committing;
         tx.micro.push_back(MicroOp::Complete);
         tx.pending_lock_ref = Some(2);
@@ -209,12 +187,27 @@ mod tests {
         assert_eq!(tx.pending_lock_ref, None);
         assert_eq!(tx.restarts, 1);
         assert_eq!(tx.arrival, 42.0);
+        assert_eq!(tx.template, 7);
         assert_eq!(tx.state, TxState::Ready);
     }
 
     #[test]
+    fn reuse_resets_everything_including_restart_count() {
+        let mut tx = Transaction::new(1, 0, 7, 42.0);
+        tx.restart();
+        tx.micro.push_back(MicroOp::Complete);
+        tx.lock_msg_paid = true;
+        tx.reuse(9, 2, 3, 100.0);
+        assert_eq!((tx.id, tx.node, tx.template, tx.arrival), (9, 2, 3, 100.0));
+        assert_eq!(tx.phase, TxPhase::BeforeAccess { next_ref: 0 });
+        assert!(tx.micro.is_empty());
+        assert!(!tx.lock_msg_paid);
+        assert_eq!(tx.restarts, 0);
+    }
+
+    #[test]
     fn push_ops_front_preserves_order() {
-        let mut tx = Transaction::new(1, 0, template(), 0.0);
+        let mut tx = Transaction::new(1, 0, 0, 0.0);
         tx.micro.push_back(MicroOp::Complete);
         tx.push_ops_front(vec![
             MicroOp::CpuBurst {

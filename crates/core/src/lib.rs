@@ -47,7 +47,8 @@ pub use config::{
 };
 pub use engine::Simulation;
 pub use metrics::{
-    DeviceReport, NodeReport, RecoveryReport, ResponseTimeStats, RestartReport, SimulationReport,
+    DeviceReport, KernelProfile, NodeReport, RecoveryReport, ResponseTimeStats, RestartReport,
+    SimulationReport,
 };
 
 // Re-export the substrate crates so downstream users need only one dependency.

@@ -146,6 +146,34 @@ pub struct RestartReport {
     pub locks_reacquired: u64,
 }
 
+/// Wall-clock throughput of the simulation kernel over one run, as measured
+/// by [`Simulation::run_profiled`].  Not part of [`SimulationReport`] (the
+/// report describes the *simulated* system and stays byte-identical across
+/// kernel optimizations); profiles feed the `BENCH_kernel.json` perf
+/// trajectory instead.
+///
+/// [`Simulation::run_profiled`]: crate::Simulation::run_profiled
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Events popped from the future event list.
+    pub events: u64,
+    /// Wall-clock duration of the run (ms).
+    pub wall_ms: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+impl KernelProfile {
+    /// Builds a profile from an event count and a measured wall-clock time.
+    pub fn new(events: u64, wall_ms: f64) -> Self {
+        Self {
+            events,
+            wall_ms,
+            events_per_sec: events as f64 / (wall_ms / 1e3).max(1e-9),
+        }
+    }
+}
+
 /// Per-transaction-type response-time summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TxTypeReport {

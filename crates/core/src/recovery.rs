@@ -25,7 +25,7 @@
 //! (checkpoint events, the crash handler and the restart computation) lives
 //! in `engine/recovery.rs`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use dbmodel::PageId;
 use simkernel::time::SimTime;
@@ -152,8 +152,6 @@ pub(crate) struct RecoveryRuntime {
     pub checkpoint_overhead_ms: SimTime,
     /// Redo records dropped by checkpoint truncation (measurement interval).
     pub records_truncated: u64,
-    /// In-flight checkpoint log writes: I/O id → issue time.
-    pub checkpoint_ios: HashMap<u64, SimTime>,
 }
 
 impl RecoveryRuntime {
@@ -164,20 +162,18 @@ impl RecoveryRuntime {
             checkpoints_taken: 0,
             checkpoint_overhead_ms: 0.0,
             records_truncated: 0,
-            checkpoint_ios: HashMap::new(),
         }
     }
 
     /// End-of-warm-up reset: clears the measurement counters without
     /// touching the redo log or the redo boundary (they are state, not
-    /// statistics).  In-flight checkpoint writes issued during warm-up are
-    /// forgotten, so their (partly pre-warm-up) latency cannot leak into the
-    /// measured checkpoint overhead.
+    /// statistics).  The engine additionally forgets the issue stamps of
+    /// in-flight checkpoint writes, so their (partly pre-warm-up) latency
+    /// cannot leak into the measured checkpoint overhead.
     pub fn reset_stats(&mut self) {
         self.checkpoints_taken = 0;
         self.checkpoint_overhead_ms = 0.0;
         self.records_truncated = 0;
-        self.checkpoint_ios.clear();
     }
 }
 
@@ -240,12 +236,10 @@ mod tests {
         rt.checkpoints_taken = 3;
         rt.checkpoint_overhead_ms = 7.5;
         rt.records_truncated = 2;
-        rt.checkpoint_ios.insert(9, 123.0);
         rt.reset_stats();
         assert_eq!(rt.checkpoints_taken, 0);
         assert_eq!(rt.checkpoint_overhead_ms, 0.0);
         assert_eq!(rt.records_truncated, 0);
-        assert!(rt.checkpoint_ios.is_empty());
         assert_eq!(rt.redo.len(), 1);
         assert_eq!(rt.redo_start_lsn, 1);
     }

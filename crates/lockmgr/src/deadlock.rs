@@ -7,6 +7,13 @@
 //! waits for.  Detection is a depth-first reachability check starting from the
 //! newly blocked transaction: if it can reach itself, the new request closes a
 //! cycle and the requester is chosen as the victim.
+//!
+//! The graph sits on the lock manager's per-commit path
+//! ([`WaitsForGraph::remove_transaction`] runs for *every* release), so it
+//! keeps a reverse index (blocker → waiters) to remove a transaction in
+//! `O(degree)` instead of scanning every blocked transaction, and reuses its
+//! DFS scratch buffers across checks instead of allocating per denied
+//! request.
 
 use std::collections::{HashMap, HashSet};
 
@@ -15,8 +22,15 @@ use crate::table::TxId;
 /// The waits-for graph.
 #[derive(Debug, Default)]
 pub struct WaitsForGraph {
-    /// edges[t] = set of transactions t is waiting for.
+    /// `edges[t]` = set of transactions `t` is waiting for.
     edges: HashMap<TxId, HashSet<TxId>>,
+    /// `reverse[t]` = set of transactions waiting for `t` (incoming edges),
+    /// kept in lockstep with `edges` so removal never scans the whole graph.
+    reverse: HashMap<TxId, HashSet<TxId>>,
+    /// DFS scratch (cleared per check, allocation reused).
+    visited: HashSet<TxId>,
+    /// DFS stack scratch.
+    stack: Vec<TxId>,
 }
 
 impl WaitsForGraph {
@@ -32,23 +46,39 @@ impl WaitsForGraph {
         }
         let set = self.edges.entry(waiter).or_default();
         for b in blockers {
-            if *b != waiter {
-                set.insert(*b);
+            if *b != waiter && set.insert(*b) {
+                self.reverse.entry(*b).or_default().insert(waiter);
             }
         }
     }
 
     /// Removes all outgoing edges of `waiter` (it is no longer blocked).
     pub fn clear_waits(&mut self, waiter: TxId) {
-        self.edges.remove(&waiter);
+        if let Some(blockers) = self.edges.remove(&waiter) {
+            for b in blockers {
+                if let Some(set) = self.reverse.get_mut(&b) {
+                    set.remove(&waiter);
+                    if set.is_empty() {
+                        self.reverse.remove(&b);
+                    }
+                }
+            }
+        }
     }
 
     /// Removes a transaction completely: its outgoing edges and every incoming
     /// edge (other transactions no longer wait for it).
     pub fn remove_transaction(&mut self, tx: TxId) {
-        self.edges.remove(&tx);
-        for set in self.edges.values_mut() {
-            set.remove(&tx);
+        self.clear_waits(tx);
+        if let Some(waiters) = self.reverse.remove(&tx) {
+            for w in waiters {
+                if let Some(set) = self.edges.get_mut(&w) {
+                    set.remove(&tx);
+                    // An empty outgoing set is kept until `clear_waits`: the
+                    // transaction is still blocked in the lock table, its
+                    // remaining blockers just all released.
+                }
+            }
         }
     }
 
@@ -70,19 +100,21 @@ impl WaitsForGraph {
     }
 
     /// True if `start` can reach `target` following waits-for edges.
-    pub fn reaches(&self, start: TxId, target: TxId) -> bool {
-        let mut visited = HashSet::new();
-        let mut stack = vec![start];
-        while let Some(t) = stack.pop() {
-            if !visited.insert(t) {
+    pub fn reaches(&mut self, start: TxId, target: TxId) -> bool {
+        self.visited.clear();
+        self.stack.clear();
+        self.stack.push(start);
+        while let Some(t) = self.stack.pop() {
+            if !self.visited.insert(t) {
                 continue;
             }
             if let Some(next) = self.edges.get(&t) {
                 for n in next {
                     if *n == target {
+                        self.stack.clear();
                         return true;
                     }
-                    stack.push(*n);
+                    self.stack.push(*n);
                 }
             }
         }
@@ -91,7 +123,7 @@ impl WaitsForGraph {
 
     /// Checks whether adding the edges `waiter → blockers` would close a
     /// cycle containing `waiter`.  The edges are *not* added.
-    pub fn would_deadlock(&self, waiter: TxId, blockers: &[TxId]) -> bool {
+    pub fn would_deadlock(&mut self, waiter: TxId, blockers: &[TxId]) -> bool {
         blockers
             .iter()
             .any(|b| *b == waiter || self.reaches(*b, waiter))
@@ -104,7 +136,7 @@ mod tests {
 
     #[test]
     fn no_deadlock_on_simple_wait() {
-        let g = WaitsForGraph::new();
+        let mut g = WaitsForGraph::new();
         assert!(!g.would_deadlock(1, &[2]));
     }
 
@@ -127,7 +159,7 @@ mod tests {
 
     #[test]
     fn self_edge_is_a_deadlock() {
-        let g = WaitsForGraph::new();
+        let mut g = WaitsForGraph::new();
         assert!(g.would_deadlock(7, &[7]));
     }
 
@@ -171,5 +203,31 @@ mod tests {
         g.add_waits(3, &[4]);
         assert!(!g.would_deadlock(4, &[5]));
         assert!(g.would_deadlock(4, &[1]));
+    }
+
+    #[test]
+    fn reverse_index_survives_interleaved_add_clear_remove() {
+        // Regression for the reverse-index bookkeeping: adds, partial
+        // clears and removals must keep both directions consistent.
+        let mut g = WaitsForGraph::new();
+        g.add_waits(1, &[10, 11]);
+        g.add_waits(2, &[10]);
+        g.add_waits(3, &[1]);
+        // Removing blocker 10 must unhook it from both waiters ...
+        g.remove_transaction(10);
+        assert!(!g.reaches(1, 10));
+        assert!(!g.reaches(2, 10));
+        // ... while 1 still waits for 11, and 3 still waits for 1.
+        assert!(g.reaches(1, 11));
+        assert!(g.reaches(3, 11));
+        // Re-adding edges after clears keeps working.
+        g.clear_waits(1);
+        assert!(!g.reaches(3, 11));
+        g.add_waits(1, &[2]);
+        assert!(g.reaches(3, 2));
+        g.remove_transaction(2);
+        g.remove_transaction(1);
+        g.remove_transaction(3);
+        assert_eq!(g.blocked_count(), 0);
     }
 }

@@ -2,7 +2,7 @@
 //! per-partition concurrency-control modes together and keeps the statistics
 //! TPSIM reports (lock requests, conflicts, deadlocks).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use dbmodel::{AccessMode, Database, ObjectRef, PartitionId};
 
@@ -68,7 +68,10 @@ pub struct LockManager {
     table: LockTable,
     graph: WaitsForGraph,
     /// Locks currently held per transaction (for release at EOT / abort).
-    held: HashMap<TxId, HashSet<LockableId>>,
+    /// A plain de-duplicated `Vec` per transaction: transactions hold few
+    /// locks, so a linear membership check beats hashing on the per-request
+    /// hot path.
+    held: HashMap<TxId, Vec<LockableId>>,
     /// The single item each blocked transaction is waiting for.
     waiting_on: HashMap<TxId, LockableId>,
     stats: LockManagerStats,
@@ -122,7 +125,7 @@ impl LockManager {
 
     /// Number of locks currently held by `tx`.
     pub fn locks_held(&self, tx: TxId) -> usize {
-        self.held.get(&tx).map(HashSet::len).unwrap_or(0)
+        self.held.get(&tx).map(Vec::len).unwrap_or(0)
     }
 
     /// Translates an object reference into a lock request according to the
@@ -151,7 +154,10 @@ impl LockManager {
         match self.table.request(item, tx, req.mode) {
             TableOutcome::Granted => {
                 self.stats.immediate_grants += 1;
-                self.held.entry(tx).or_default().insert(item);
+                let held = self.held.entry(tx).or_default();
+                if !held.contains(&item) {
+                    held.push(item);
+                }
                 LockOutcome::Granted
             }
             TableOutcome::Blocked => {
@@ -176,7 +182,10 @@ impl LockManager {
     /// waits-for edges.
     fn on_wakeup(&mut self, tx: TxId) {
         if let Some(item) = self.waiting_on.remove(&tx) {
-            self.held.entry(tx).or_default().insert(item);
+            let held = self.held.entry(tx).or_default();
+            if !held.contains(&item) {
+                held.push(item);
+            }
         }
         self.graph.clear_waits(tx);
     }

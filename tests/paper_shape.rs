@@ -143,6 +143,78 @@ fn recovery_sweep_is_byte_identical_in_parallel_and_serial() {
 }
 
 // ---------------------------------------------------------------------------
+// Byte-identity goldens (cheap, always run)
+// ---------------------------------------------------------------------------
+//
+// The hot-path kernel work (calendar event queue, engine arenas) must not
+// change simulation output *at all*: these tests render complete reports of
+// three representative configurations with `{:#?}` and compare them byte for
+// byte against goldens captured before the refactor.  Regenerate with
+//
+// ```bash
+// UPDATE_GOLDENS=1 cargo test --release --test paper_shape golden_
+// ```
+//
+// only when an intentional model change is made (and say so in the PR).
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.txt"));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        expected, actual,
+        "report of '{name}' diverged from the pre-refactor golden \
+         (tests/goldens/{name}.txt); the kernel refactor must be output-preserving"
+    );
+}
+
+/// The quickstart example's two configurations (Debit-Credit at 100 TPS,
+/// disk-based vs NVEM-resident).
+#[test]
+fn golden_quickstart_reports_are_byte_identical() {
+    let mut out = String::new();
+    for storage in [DebitCreditStorage::Disk, DebitCreditStorage::NvemResident] {
+        let mut config = debit_credit_config(storage, 100.0);
+        config.warmup_ms = 1_000.0;
+        config.measure_ms = 5_000.0;
+        let report = Simulation::new(config, debit_credit_workload(50)).run();
+        out.push_str(&format!("== {} ==\n{report:#?}\n", storage.label()));
+    }
+    assert_matches_golden("quickstart", &out);
+}
+
+/// One 8-node fig5.x point: eight computing modules sharing the storage
+/// complex at 60 TPS offered per node.
+#[test]
+fn golden_fig5x_8_node_report_is_byte_identical() {
+    let mut config = data_sharing_config(8, 8.0 * 60.0);
+    config.warmup_ms = 1_000.0;
+    config.measure_ms = 4_000.0;
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+    assert_matches_golden("fig5x_8_node", &format!("{report:#?}\n"));
+}
+
+/// One fig6.x point: NOFORCE with a disk-resident log, checkpoints every
+/// 400 ms and a crash at 1600 ms, including the restart section.
+#[test]
+fn golden_fig6x_crash_replay_report_is_byte_identical() {
+    let mut config = recovery_config(false, false, 400.0, 120.0);
+    config.warmup_ms = 300.0;
+    config.measure_ms = 1_500.0;
+    let report = Simulation::new(config, debit_credit_workload(200))
+        .simulate_crash_at(1_600.0)
+        .run();
+    assert_matches_golden("fig6x_crash_replay", &format!("{report:#?}\n"));
+}
+
+// ---------------------------------------------------------------------------
 // Fig. 4.1 — log allocation ordering (slow, release CI job)
 // ---------------------------------------------------------------------------
 
