@@ -1,0 +1,40 @@
+//! Fig. 7.x — data sharing vs shared nothing (beyond the paper).
+//!
+//! Runs the fig5.x node-scaling workload (same per-node offered rate at
+//! 1/2/4/8 nodes) on both multi-node architectures.  Data sharing pays the
+//! shared single log disk and global-lock message round trips; shared
+//! nothing partitions database *and* log over the nodes but function-ships
+//! the remote accesses, whose fraction grows as ≈ (n-1)/n with the node
+//! count.  The interesting output is the throughput crossover: at which node
+//! count the partitioned log's scaling starts beating the shipping overhead.
+
+mod common;
+
+use tpsim_bench::microbench::{black_box, Criterion};
+use tpsim_bench::runner::{data_sharing_point, run_debit_credit, shared_nothing_point};
+
+fn bench(c: &mut Criterion) {
+    let settings = common::settings();
+    let mut group = c.benchmark_group("fig7_architecture_compare");
+    for nodes in [1usize, 2, 4, 8] {
+        group.bench_function(format!("{nodes} nodes data-sharing"), |b| {
+            b.iter(|| {
+                let report = run_debit_credit(&settings, data_sharing_point(nodes, 60.0));
+                black_box(report.throughput_tps)
+            })
+        });
+        group.bench_function(format!("{nodes} nodes shared-nothing"), |b| {
+            b.iter(|| {
+                let report = run_debit_credit(&settings, shared_nothing_point(nodes, 60.0));
+                black_box(report.throughput_tps)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = common::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

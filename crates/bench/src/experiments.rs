@@ -87,6 +87,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "fig6.x",
             title: "Fig. 6.x: restart time after a crash (beyond the paper)",
         },
+        Experiment {
+            id: "fig7.x",
+            title: "Fig. 7.x: data sharing vs shared nothing (beyond the paper)",
+        },
     ]
 }
 
@@ -110,6 +114,7 @@ pub fn run_experiment(id: &str, settings: &RunSettings) -> ExperimentResult {
         "fig4.8" => fig4_8(settings),
         "fig5.x" => fig5_x(settings),
         "fig6.x" => fig6_x(settings),
+        "fig7.x" => fig7_x(settings),
         _ => unreachable!(),
     };
     ExperimentResult { experiment, table }
@@ -785,6 +790,96 @@ fn fig6_x(settings: &RunSettings) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fig. 7.x — data sharing vs shared nothing (beyond the paper)
+// ---------------------------------------------------------------------------
+
+fn fig7_x(settings: &RunSettings) -> String {
+    // The same fig5.x workload family (per-node offered rate, 1/2/4/8 nodes)
+    // on both architectures.  Under hash declustering with round-robin
+    // transaction routing the shared-nothing remote-access fraction is
+    // ≈ (n-1)/n, so sweeping the node count sweeps the function-shipping
+    // overhead; data sharing instead queues at its shared log disk and pays
+    // global lock messages.  The crossover is where the partitioned log's
+    // scaling beats the growing shipping overhead.
+    let per_node_rate = 60.0;
+    let node_counts = [1usize, 2, 4, 8];
+    let mut points = Vec::new();
+    for &n in &node_counts {
+        points.push((
+            format!("{n}/sharing"),
+            n as f64,
+            runner::data_sharing_point(n, per_node_rate),
+            Family::DebitCredit,
+        ));
+        points.push((
+            format!("{n}/nothing"),
+            n as f64,
+            runner::shared_nothing_point(n, per_node_rate),
+            Family::DebitCredit,
+        ));
+    }
+    let results = runner::run_sweep(settings, points);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:<16} {:>14} {:>12} {:>12} {:>10} {:>13} {:>10} {:>12}",
+        "nodes",
+        "architecture",
+        "offered [TPS]",
+        "thru [TPS]",
+        "resp [ms]",
+        "cpu [%]",
+        "remote [%]",
+        "messages",
+        "log util [%]"
+    );
+    for (i, &n) in node_counts.iter().enumerate() {
+        for (offset, label) in [(0usize, "data sharing"), (1usize, "shared nothing")] {
+            let point = &results[2 * i + offset];
+            let r = &point.report;
+            let (remote_frac, messages) = match &r.shipping {
+                Some(s) => (s.remote_access_fraction(), s.messages),
+                None => (0.0, r.global_locks.messages),
+            };
+            let log_util = r
+                .devices
+                .get(tpsim::presets::LOG_UNIT)
+                .map(|d| d.disk_utilization)
+                .unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "{:<8} {:<16} {:>14.0} {:>12.1} {:>12.2} {:>10.1} {:>13.1} {:>10} {:>12.1}",
+                n,
+                label,
+                per_node_rate * n as f64,
+                r.throughput_tps,
+                r.response_time.mean,
+                r.cpu_utilization * 100.0,
+                remote_frac * 100.0,
+                messages,
+                log_util * 100.0
+            );
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "shared-nothing / data-sharing throughput ratio (crossover where it exceeds 1):"
+    );
+    for (i, &n) in node_counts.iter().enumerate() {
+        let sharing = results[2 * i].report.throughput_tps;
+        let nothing = results[2 * i + 1].report.throughput_tps;
+        let ratio = if sharing > 0.0 {
+            nothing / sharing
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  {n} nodes: {ratio:.2}x");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -794,11 +889,11 @@ mod tests {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for expected in [
             "table2.1", "table2.2", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "table4.2", "fig4.5",
-            "fig4.6", "fig4.7", "fig4.8", "fig5.x", "fig6.x",
+            "fig4.6", "fig4.7", "fig4.8", "fig5.x", "fig6.x", "fig7.x",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
     }
 
     #[test]

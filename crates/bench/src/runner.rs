@@ -334,6 +334,14 @@ pub fn data_sharing_point(num_nodes: usize, per_node_rate: f64) -> SimulationCon
     presets::data_sharing_config(num_nodes, per_node_rate * num_nodes as f64)
 }
 
+/// Configuration of one shared-nothing scaling point
+/// (`fig7_architecture_compare` / `fig7.x`): the same workload as
+/// [`data_sharing_point`] on the partitioned (function-shipping)
+/// architecture.
+pub fn shared_nothing_point(num_nodes: usize, per_node_rate: f64) -> SimulationConfig {
+    presets::shared_nothing_config(num_nodes, per_node_rate * num_nodes as f64)
+}
+
 /// Configuration of one restart-time point (`fig6_restart_time` / `fig6.x`):
 /// FORCE vs NOFORCE × disk- vs NVEM-resident log × checkpoint interval.
 pub fn recovery_point(

@@ -3,6 +3,7 @@
 //! warm-up, measurement interval, RNG seed).
 
 use bufmgr::BufferConfig;
+use dbmodel::PartitionScheme;
 use lockmgr::CcMode;
 use simkernel::time::SimTime;
 use storage::{DeviceSpec, NvemParams};
@@ -133,6 +134,95 @@ impl NodeParams {
     pub fn data_sharing(num_nodes: usize) -> Self {
         Self {
             num_nodes,
+            ..Self::default()
+        }
+    }
+}
+
+/// Multi-node architecture of the simulated system (Rahm's central
+/// comparison: how do several computing modules share one database?).
+///
+/// * [`Architecture::DataSharing`]: all nodes access the *whole* database
+///   through the shared storage complex; concurrency control is the global
+///   lock service and commits invalidate stale buffer copies on other nodes.
+/// * [`Architecture::SharedNothing`]: the database is partitioned over the
+///   nodes ([`PartitioningParams`]); accesses to remote partitions are
+///   function-shipped to the owner (message + remote CPU), locking is purely
+///   node-local, and commit runs a two-phase message exchange with the
+///   owners of the written pages.
+///
+/// With `num_nodes == 1` the two architectures coincide with the paper's
+/// centralized system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Architecture {
+    /// All nodes share the full database (global locks + invalidation).
+    #[default]
+    DataSharing,
+    /// Partitions are owned by nodes; remote accesses are function-shipped.
+    SharedNothing,
+}
+
+/// Shared-nothing partitioning and function-shipping parameters
+/// (only read when [`SimulationConfig::architecture`] is
+/// [`Architecture::SharedNothing`]).
+///
+/// The database's global page space is divided into
+/// `num_nodes × partitions_per_node` virtual partitions assigned to the
+/// nodes round robin ([`dbmodel::PartitionMap`]); `scheme` selects hash or
+/// range declustering.  A micro-operation touching a page owned by another
+/// node is shipped there: the requester pays a one-way message of
+/// `remote_msg_ms` in each direction, and the shipped object reference costs
+/// an extra `remote_cpu_instr` instructions *on the owner's CPUs* (request
+/// handling at the remote node).  Commit adds a prepare round trip to the
+/// remote owners of the written pages plus one asynchronous commit message
+/// per owner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitioningParams {
+    /// How pages map to virtual partitions (hash or contiguous ranges).
+    pub scheme: PartitionScheme,
+    /// Virtual partitions per node (more partitions smooth the load at the
+    /// price of locality under the range scheme).
+    pub partitions_per_node: usize,
+    /// One-way message delay (ms) of a function-shipping exchange; a shipped
+    /// reference pays it twice (call + reply), a commit prepare pays one
+    /// round trip regardless of the number of participants (the messages
+    /// travel in parallel).
+    pub remote_msg_ms: SimTime,
+    /// Extra instructions charged on the *owner's* CPUs per shipped object
+    /// reference (request handling, dispatch).
+    pub remote_cpu_instr: f64,
+}
+
+impl Default for PartitioningParams {
+    fn default() -> Self {
+        Self {
+            scheme: PartitionScheme::Hash,
+            partitions_per_node: 8,
+            // Same cheap interconnect as the data-sharing lock messages, so
+            // the architecture comparison is apples to apples.
+            remote_msg_ms: 0.2,
+            // ~10k instructions to receive, dispatch and answer a shipped
+            // call — a quarter of an average object reference.
+            remote_cpu_instr: 10_000.0,
+        }
+    }
+}
+
+impl PartitioningParams {
+    /// Hash declustering with the default message and CPU costs.
+    pub fn hash(partitions_per_node: usize) -> Self {
+        Self {
+            scheme: PartitionScheme::Hash,
+            partitions_per_node,
+            ..Self::default()
+        }
+    }
+
+    /// Range declustering with the default message and CPU costs.
+    pub fn range(partitions_per_node: usize) -> Self {
+        Self {
+            scheme: PartitionScheme::Range,
+            partitions_per_node,
             ..Self::default()
         }
     }
@@ -271,6 +361,11 @@ pub struct SimulationConfig {
     /// Data-sharing parameters (number of computing modules, remote lock
     /// message delay).
     pub nodes: NodeParams,
+    /// Multi-node architecture: data sharing (default) or shared nothing.
+    pub architecture: Architecture,
+    /// Shared-nothing partitioning / function-shipping parameters (ignored
+    /// under [`Architecture::DataSharing`]).
+    pub partitioning: PartitioningParams,
     /// NVEM device parameters (for the synchronous CPU-access path).
     pub nvem: NvemParams,
     /// The external storage devices of the configuration (indexed by the ids
@@ -328,6 +423,37 @@ impl SimulationConfig {
         }
         if self.nodes.remote_lock_delay_ms < 0.0 {
             return Err("remote lock delay must be non-negative".into());
+        }
+        if self.partitioning.partitions_per_node == 0 {
+            return Err("at least one partition per node is required".into());
+        }
+        if self.partitioning.remote_msg_ms.is_nan() || self.partitioning.remote_msg_ms < 0.0 {
+            return Err("remote message delay must be non-negative".into());
+        }
+        if self.partitioning.remote_cpu_instr.is_nan() || self.partitioning.remote_cpu_instr < 0.0 {
+            return Err("remote CPU cost must be non-negative".into());
+        }
+        if self.architecture == Architecture::SharedNothing {
+            if self.recovery.enabled() {
+                return Err(
+                    "crash recovery is only modelled for the data-sharing architecture".into(),
+                );
+            }
+            if self.buffer.update_strategy == bufmgr::UpdateStrategy::Force {
+                return Err(
+                    "the FORCE update strategy is not supported in shared-nothing mode \
+                     (forced pages live in the owners' buffer pools)"
+                        .into(),
+                );
+            }
+            if self.cm.group_commit_size > 1 {
+                return Err(
+                    "group commit is not supported in shared-nothing mode (the engine's \
+                     commit batch is global and would merge log writes across the \
+                     per-node logs)"
+                        .into(),
+                );
+            }
         }
         if self.cm.log_record_bytes == 0
             || self.cm.log_record_bytes > crate::recovery::LOG_PAGE_BYTES
@@ -404,6 +530,8 @@ mod tests {
         SimulationConfig {
             cm: CmParams::default(),
             nodes: NodeParams::default(),
+            architecture: Architecture::default(),
+            partitioning: PartitioningParams::default(),
             nvem: NvemParams::default(),
             devices: vec![DiskUnitParams::database_disks(DiskUnitKind::Regular, 2, 8).into()],
             log_allocation: LogAllocation::DiskUnit(0),
@@ -537,6 +665,48 @@ mod tests {
         let mut c = minimal_config();
         c.cm.log_record_bytes = 100_000;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_partitioning_params() {
+        let mut c = minimal_config();
+        c.partitioning.partitions_per_node = 0;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.partitioning.remote_msg_ms = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.partitioning.remote_msg_ms = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.partitioning.remote_cpu_instr = -1.0;
+        assert!(c.validate().is_err());
+        // The shared-nothing architecture with default partitioning is fine …
+        let mut c = minimal_config();
+        c.architecture = Architecture::SharedNothing;
+        c.partitioning = PartitioningParams::range(4);
+        assert!(c.validate().is_ok());
+        // … but refuses recovery and FORCE (both are data-sharing-only).
+        let mut c = minimal_config();
+        c.architecture = Architecture::SharedNothing;
+        c.recovery = RecoveryParams::noforce(500.0);
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.architecture = Architecture::SharedNothing;
+        c.buffer.update_strategy = bufmgr::UpdateStrategy::Force;
+        assert!(c.validate().is_err());
+        // ... and group commit (the engine's commit batch is global, the
+        // shared-nothing log is per node).
+        let mut c = minimal_config();
+        c.architecture = Architecture::SharedNothing;
+        c.cm.group_commit_size = 4;
+        c.cm.group_commit_timeout_ms = 2.0;
+        assert!(c.validate().is_err());
+        assert_eq!(PartitioningParams::hash(2).partitions_per_node, 2);
+        assert_eq!(
+            PartitioningParams::range(3).scheme,
+            dbmodel::PartitionScheme::Range
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! globally unique transaction ids whose numeric order defines its wake-up
 //! order.
 
-use dbmodel::{PageId, TransactionTemplate};
+use dbmodel::{PageId, PartitionMap, TransactionTemplate};
 use simkernel::time::SimTime;
 
 use super::iorequest::IoRequest;
@@ -155,9 +155,17 @@ impl TxArena {
     /// The node that last owned `slot` (valid even after release: the
     /// carcass stays in place and its `node` field is only rewritten at the
     /// next activation).
-    #[inline]
+    #[cfg(test)]
     pub fn node_of(&self, slot: usize) -> usize {
         self.slots[slot].node
+    }
+
+    /// The node `slot`'s transaction currently executes at (the function-ship
+    /// target while a shared-nothing call is outstanding; equal to
+    /// [`TxArena::node_of`] otherwise).  Like `node_of`, valid after release.
+    #[inline]
+    pub fn exec_node_of(&self, slot: usize) -> usize {
+        self.slots[slot].exec_node
     }
 
     /// Admits a transaction, reusing a freed slot (and its carcass's
@@ -194,6 +202,15 @@ pub(crate) struct TemplateEntry {
     /// Distinct `(partition, page)` pairs written, sorted; computed once at
     /// interning instead of at every FORCE / invalidation / redo use.
     pub written_pages: Vec<(usize, PageId)>,
+    /// Shared nothing: owning node per object reference (parallel to
+    /// `template.refs`), hashed once at interning instead of at every
+    /// execution (and re-execution after a deadlock restart).  Empty under
+    /// data sharing.
+    pub ref_owners: Vec<usize>,
+    /// Shared nothing: distinct owners of `written_pages` (sorted) — the
+    /// candidate participants of the commit exchange.  Empty under data
+    /// sharing.
+    pub written_owners: Vec<usize>,
     /// Whether any reference writes.
     pub is_update: bool,
 }
@@ -206,25 +223,45 @@ pub(crate) struct TemplateTable {
 }
 
 impl TemplateTable {
-    /// Interns a generated template, precomputing its derived data.  Returns
-    /// the table index; freed entries (and their `written_pages` buffers) are
+    /// Interns a generated template, precomputing its derived data (written
+    /// pages, and — when a shared-nothing `map` is given — the owner per
+    /// reference and the distinct owners of the written pages).  Returns
+    /// the table index; freed entries (and their derived-data buffers) are
     /// reused.
-    pub fn insert(&mut self, template: TransactionTemplate) -> u32 {
+    pub fn insert(&mut self, template: TransactionTemplate, map: Option<&PartitionMap>) -> u32 {
         match self.free.pop() {
             Some(id) => {
                 let entry = &mut self.entries[id as usize];
                 entry.template = template;
                 entry.is_update = entry.template.is_update();
                 Self::collect_written_pages(&entry.template, &mut entry.written_pages);
+                Self::collect_owners(
+                    &entry.template,
+                    &entry.written_pages,
+                    map,
+                    &mut entry.ref_owners,
+                    &mut entry.written_owners,
+                );
                 id
             }
             None => {
                 let is_update = template.is_update();
                 let mut written_pages = Vec::new();
                 Self::collect_written_pages(&template, &mut written_pages);
+                let mut ref_owners = Vec::new();
+                let mut written_owners = Vec::new();
+                Self::collect_owners(
+                    &template,
+                    &written_pages,
+                    map,
+                    &mut ref_owners,
+                    &mut written_owners,
+                );
                 self.entries.push(TemplateEntry {
                     template,
                     written_pages,
+                    ref_owners,
+                    written_owners,
                     is_update,
                 });
                 (self.entries.len() - 1) as u32
@@ -254,6 +291,24 @@ impl TemplateTable {
         );
         out.sort_unstable_by_key(|(p, page)| (*p, page.0));
         out.dedup();
+    }
+
+    fn collect_owners(
+        template: &TransactionTemplate,
+        written_pages: &[(usize, PageId)],
+        map: Option<&PartitionMap>,
+        ref_owners: &mut Vec<usize>,
+        written_owners: &mut Vec<usize>,
+    ) {
+        ref_owners.clear();
+        written_owners.clear();
+        let Some(map) = map else {
+            return;
+        };
+        ref_owners.extend(template.refs.iter().map(|r| map.owner_of(r.page)));
+        written_owners.extend(written_pages.iter().map(|&(_, page)| map.owner_of(page)));
+        written_owners.sort_unstable();
+        written_owners.dedup();
     }
 }
 
@@ -326,10 +381,12 @@ mod tests {
             ],
         };
         let mut table = TemplateTable::default();
-        let id = table.insert(template);
+        let id = table.insert(template, None);
         let entry = table.entry(id);
         assert!(entry.is_update);
         assert_eq!(entry.written_pages, vec![(1, PageId(5))]);
+        assert!(entry.ref_owners.is_empty(), "no owners under data sharing");
+        assert!(entry.written_owners.is_empty());
         table.free(id);
         let read_only = TransactionTemplate {
             tx_type: 1,
@@ -340,10 +397,47 @@ mod tests {
                 mode: AccessMode::Read,
             }],
         };
-        let id2 = table.insert(read_only);
+        let id2 = table.insert(read_only, None);
         assert_eq!(id2, id, "freed entry must be reused");
         let entry = table.entry(id2);
         assert!(!entry.is_update);
         assert!(entry.written_pages.is_empty());
+    }
+
+    #[test]
+    fn template_table_interns_shared_nothing_owners() {
+        let mk_ref = |page: u64, write: bool| ObjectRef {
+            partition: 0,
+            page: PageId(page),
+            object: ObjectId(page),
+            mode: if write {
+                AccessMode::Write
+            } else {
+                AccessMode::Read
+            },
+        };
+        // Range map over 4 pages × 2 nodes: pages 0-1 → node 0, 2-3 → node 1.
+        let map = PartitionMap::range(2, 1, 4);
+        let template = TransactionTemplate {
+            tx_type: 0,
+            refs: vec![mk_ref(0, false), mk_ref(2, true), mk_ref(3, true)],
+        };
+        let mut table = TemplateTable::default();
+        let id = table.insert(template, Some(&map));
+        let entry = table.entry(id);
+        assert_eq!(entry.ref_owners, vec![0, 1, 1]);
+        assert_eq!(entry.written_owners, vec![1], "distinct owners, deduped");
+        // Recycled entries recompute (and clear) the owner buffers.
+        table.free(id);
+        let id2 = table.insert(
+            TransactionTemplate {
+                tx_type: 0,
+                refs: vec![mk_ref(1, false)],
+            },
+            None,
+        );
+        assert_eq!(id2, id);
+        assert!(table.entry(id2).ref_owners.is_empty());
+        assert!(table.entry(id2).written_owners.is_empty());
     }
 }

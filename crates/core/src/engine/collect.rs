@@ -60,6 +60,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             u.disks.reset_stats(now);
         }
         self.lockmgr.reset_stats();
+        self.shipping = crate::metrics::ShippingReport::empty(self.nodes.len());
         if let Some(rec) = self.recovery.as_mut() {
             rec.reset_stats();
             // Forget the issue stamps of in-flight checkpoint writes: their
@@ -183,6 +184,11 @@ impl<W: WorkloadGenerator> Simulation<W> {
             restart,
         });
 
+        // The shipping section exists exactly for shared-nothing runs;
+        // data-sharing reports omit it (and render byte-identically to
+        // reports from before the shared-nothing mode).
+        let shipping = self.partition_map.is_some().then(|| self.shipping.clone());
+
         let nvem_capacity = self.config.nvem.num_servers.max(1) as f64;
         SimulationReport {
             arrival_rate_tps: self.config.arrival_rate_tps,
@@ -209,6 +215,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 .map(|s| s.global_locks)
                 .unwrap_or_else(|| self.lockmgr.global_stats()),
             recovery,
+            shipping,
             devices,
             nodes: nodes_report,
         }

@@ -214,7 +214,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // are dropped without a write-back even when dirty (NOFORCE): the
         // committing node holds the current version and propagates it
         // itself, so only the latest owner ever writes the page.
-        if self.nodes.len() > 1 && is_update {
+        // Shared nothing needs no invalidation at all: a page is only ever
+        // cached at its owner (remote references go through the owner's
+        // pool), so no stale copy can exist.
+        if self.nodes.len() > 1 && is_update && self.partition_map.is_none() {
             for &(_, page) in &self.templates.entry(template).written_pages {
                 for (other, node_rt) in self.nodes.iter_mut().enumerate() {
                     if other != node {

@@ -1,10 +1,11 @@
 //! CPU burst scheduling.
 //!
-//! Transactions share the CPU servers of the node they run on (an FCFS
-//! multi-server resource per computing module).  A burst either starts
-//! immediately or queues; when a burst finishes, the freed CPU is handed to
-//! the oldest queued burst of the same node and the finished transaction
-//! re-enters the ready queue.
+//! Transactions share the CPU servers of the node they *execute* on (an FCFS
+//! multi-server resource per computing module) — their home node, except
+//! while a shared-nothing transaction runs function-shipped at a partition
+//! owner.  A burst either starts immediately or queues; when a burst
+//! finishes, the freed CPU is handed to the oldest queued burst of the same
+//! node and the finished transaction re-enters the ready queue.
 
 use dbmodel::WorkloadGenerator;
 use simkernel::resource::Acquire;
@@ -23,7 +24,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             let tx = self.txs.tx_mut(slot);
             tx.pending_burst = ms;
             tx.pending_burst_nvem = nvem;
-            tx.node
+            tx.exec_node
         };
         match self.nodes[node].cpus.acquire(now, slot as u64) {
             Acquire::Granted => {
@@ -39,7 +40,9 @@ impl<W: WorkloadGenerator> Simulation<W> {
 
     pub(super) fn handle_cpu_done(&mut self, slot: usize) {
         let now = self.queue.now();
-        let node = self.node_of(slot);
+        // The burst ran (and the freed CPU lives) at the executing node,
+        // which cannot have changed while the transaction held the CPU.
+        let node = self.exec_node_of(slot);
         // Free the CPU and hand it to the node's next queued burst, if any.
         if let Some(next) = self.nodes[node].cpus.release(now) {
             let nslot = next as usize;

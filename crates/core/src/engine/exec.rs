@@ -10,6 +10,13 @@
 //! request from a node other than the service's home node first pays a
 //! message round trip ([`MicroOp::RemoteDelay`]) before it reaches the shared
 //! lock table; on a single node every request is local and free.
+//!
+//! In a shared-nothing run the lock service is node-local (no messages);
+//! instead, an object reference whose page is owned by another node is
+//! *function-shipped*: [`MicroOp::RemoteCall`] carries execution to the
+//! owner (one-way message), the reference's CPU burst plus a remote-handling
+//! surcharge run on the owner's CPUs, the page is fetched through the
+//! owner's buffer pool, and a second `RemoteCall` ships the reply home.
 
 use bufmgr::UpdateStrategy;
 use dbmodel::WorkloadGenerator;
@@ -59,13 +66,48 @@ impl<W: WorkloadGenerator> Simulation<W> {
         match phase {
             TxPhase::BeforeAccess { next_ref } if next_ref < num_refs => {
                 let or = instr_time(self.service_rng.exponential(cm.instr_or), cm.mips);
-                let tx = self.txs.tx_mut(slot);
-                tx.micro.push_back(MicroOp::CpuBurst {
-                    ms: or,
-                    nvem: false,
-                });
-                tx.micro.push_back(MicroOp::Lock { ref_idx: next_ref });
-                tx.phase = TxPhase::BeforeAccess {
+                // Shared nothing: the owner of the referenced page was
+                // interned with the template (`ref_owners` is empty under
+                // data sharing); a remote owner means the reference is
+                // function-shipped.
+                let remote_owner = {
+                    let tx = self.txs.tx(slot);
+                    self.templates
+                        .entry(tx.template)
+                        .ref_owners
+                        .get(next_ref)
+                        .copied()
+                        .filter(|&owner| owner != tx.node)
+                };
+                match remote_owner {
+                    Some(owner) => {
+                        let remote_cpu =
+                            instr_time(self.config.partitioning.remote_cpu_instr, cm.mips);
+                        let home = self.txs.tx(slot).node;
+                        let tx = self.txs.tx_mut(slot);
+                        // Ship the call to the owner, run the reference (plus
+                        // the remote-handling surcharge) on the owner's CPUs,
+                        // lock and fetch there, then ship the reply home.
+                        // The buffer/I/O micro operations expand between the
+                        // lock grant and the reply leg.
+                        tx.micro.push_back(MicroOp::RemoteCall { node: owner });
+                        tx.micro.push_back(MicroOp::CpuBurst {
+                            ms: or + remote_cpu,
+                            nvem: false,
+                        });
+                        tx.micro.push_back(MicroOp::Lock { ref_idx: next_ref });
+                        tx.micro.push_back(MicroOp::RemoteCall { node: home });
+                    }
+                    None => {
+                        let tx = self.txs.tx_mut(slot);
+                        tx.micro.push_back(MicroOp::CpuBurst {
+                            ms: or,
+                            nvem: false,
+                        });
+                        tx.micro.push_back(MicroOp::Lock { ref_idx: next_ref });
+                    }
+                }
+                self.txs.tx_mut(slot).phase = TxPhase::BeforeAccess {
                     next_ref: next_ref + 1,
                 };
                 true
@@ -74,11 +116,26 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 // All object references done: commit processing.
                 let eot = instr_time(self.service_rng.exponential(cm.instr_eot), cm.mips);
                 let force = self.config.buffer.update_strategy == UpdateStrategy::Force;
+                // Shared nothing: the distinct remote owners of the written
+                // pages (interned with the template) take part in the
+                // two-phase commit exchange.
+                let participants = {
+                    let tx = self.txs.tx(slot);
+                    self.templates
+                        .entry(tx.template)
+                        .written_owners
+                        .iter()
+                        .filter(|&&owner| owner != tx.node)
+                        .count() as u32
+                };
                 let tx = self.txs.tx_mut(slot);
                 tx.micro.push_back(MicroOp::CpuBurst {
                     ms: eot,
                     nvem: false,
                 });
+                if participants > 0 {
+                    tx.micro.push_back(MicroOp::CommitExchange { participants });
+                }
                 if is_update && cm.logging {
                     tx.micro.push_back(MicroOp::LogWrite);
                 }
@@ -98,6 +155,8 @@ impl<W: WorkloadGenerator> Simulation<W> {
             MicroOp::CpuBurst { ms, nvem } => self.op_cpu_burst(slot, ms, nvem),
             MicroOp::Lock { ref_idx } => self.op_lock(slot, ref_idx),
             MicroOp::RemoteDelay { ms } => self.op_remote_delay(slot, ms),
+            MicroOp::RemoteCall { node } => self.op_remote_call(slot, node),
+            MicroOp::CommitExchange { participants } => self.op_commit_exchange(slot, participants),
             MicroOp::IssueIo {
                 unit,
                 kind,
@@ -120,8 +179,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
         Flow::Blocked
     }
 
-    /// The message round trip finished: resume the transaction (its next
-    /// micro operation is the deferred lock request).
+    /// A message for the transaction in `slot` arrived — a data-sharing lock
+    /// round trip ([`Ev::MsgDone`]) or a shared-nothing function-shipping /
+    /// commit-exchange message ([`Ev::RemoteDone`]): resume the transaction
+    /// (at its already-switched execution node, for remote calls).
     pub(super) fn handle_msg_done(&mut self, slot: usize) {
         if let Some(tx) = self.txs.get_mut(slot) {
             tx.state = TxState::Ready;
@@ -129,19 +190,75 @@ impl<W: WorkloadGenerator> Simulation<W> {
         }
     }
 
+    /// Shared nothing: ship execution of the transaction in `slot` to
+    /// `node` (one one-way message).  The outbound leg (to a node other than
+    /// the home node) is what counts as a *remote call*; the reply leg only
+    /// adds its message.  Execution resumes at `node` when
+    /// [`Ev::RemoteDone`] delivers the message.
+    fn op_remote_call(&mut self, slot: usize, node: usize) -> Flow {
+        let msg = self.config.partitioning.remote_msg_ms;
+        let home = {
+            let tx = self.txs.tx_mut(slot);
+            tx.state = TxState::WaitingMessage;
+            tx.exec_node = node;
+            tx.node
+        };
+        self.shipping.messages += 1;
+        self.shipping.total_message_delay_ms += msg;
+        if node != home {
+            self.shipping.remote_calls += 1;
+            self.shipping.per_node_remote_calls[home] += 1;
+            self.shipping.remote_cpu_ms += instr_time(
+                self.config.partitioning.remote_cpu_instr,
+                self.config.cm.mips,
+            );
+        }
+        self.queue.schedule_in(msg, Ev::RemoteDone(slot));
+        Flow::Blocked
+    }
+
+    /// Shared nothing: the two-phase commit exchange with `participants`
+    /// remote owners of the committing transaction's written pages.  The
+    /// prepare/vote round trips to all participants travel in parallel, so
+    /// the transaction waits one round trip; the second-phase commit
+    /// messages are asynchronous (counted, not waited for).
+    fn op_commit_exchange(&mut self, slot: usize, participants: u32) -> Flow {
+        debug_assert!(participants > 0, "exchange without participants");
+        let msg = self.config.partitioning.remote_msg_ms;
+        let round_trip = 2.0 * msg;
+        self.shipping.commit_exchanges += 1;
+        self.shipping.commit_participants += u64::from(participants);
+        // 2 prepare/vote messages plus 1 commit message per participant.
+        self.shipping.messages += 3 * u64::from(participants);
+        self.shipping.total_message_delay_ms += round_trip;
+        self.txs.tx_mut(slot).state = TxState::WaitingMessage;
+        self.queue.schedule_in(round_trip, Ev::RemoteDone(slot));
+        Flow::Blocked
+    }
+
     fn op_lock(&mut self, slot: usize, ref_idx: usize) -> Flow {
-        let (tx_id, node, obj_ref, msg_paid) = {
+        // `node` is the node the lock request is issued from: the home node
+        // under data sharing, the page's owner while a shared-nothing
+        // reference executes function-shipped (the two coincide otherwise).
+        let (tx_id, home, node, obj_ref, msg_paid) = {
             let tx = self.txs.tx(slot);
             let entry = self.templates.entry(tx.template);
             (
                 tx.id,
                 tx.node,
+                tx.exec_node,
                 entry.template.refs[ref_idx],
                 tx.lock_msg_paid,
             )
         };
+        // Shared nothing: a reference executing on its home node is a local
+        // access (the remote split is counted by the shipping `RemoteCall`s).
+        if self.partition_map.is_some() && node == home {
+            self.shipping.local_refs += 1;
+        }
         // Remote request: pay the message round trip to the global lock
-        // service first, then retry the lock operation.
+        // service first, then retry the lock operation.  (Never taken by the
+        // shared-nothing local-only service.)
         if !msg_paid && self.lockmgr.needs_lock(&obj_ref) {
             if let Some(round_trip) = self.lockmgr.remote_round_trip(node) {
                 let tx = self.txs.tx_mut(slot);
@@ -159,7 +276,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // Count the per-node remote request at the same instant the service
         // counts its side (the acquire), so the two stay consistent across a
         // warm-up reset and for zero-delay configurations.
-        if node != self.lockmgr.home_node() && self.lockmgr.needs_lock(&obj_ref) {
+        if !self.lockmgr.is_local_only()
+            && node != self.lockmgr.home_node()
+            && self.lockmgr.needs_lock(&obj_ref)
+        {
             self.nodes[node].remote_lock_requests += 1;
         }
         match self.lockmgr.acquire(node, tx_id, &obj_ref) {
@@ -175,7 +295,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             }
             LockOutcome::Deadlock => {
                 self.aborts += 1;
-                self.nodes[node].aborts += 1;
+                self.nodes[home].aborts += 1;
                 let woken = self.lockmgr.abort(tx_id);
                 self.wake_lock_waiters(&woken);
                 // Restart the victim with the same reference string.
@@ -212,13 +332,15 @@ impl<W: WorkloadGenerator> Simulation<W> {
     }
 
     /// Performs the buffer-manager lookup for object reference `ref_idx`
-    /// against the owning node's local buffer pool and queues the resulting
-    /// storage operations.
+    /// against the *executing* node's buffer pool — the transaction's home
+    /// node under data sharing, the page's owner while a shared-nothing
+    /// reference runs function-shipped — and queues the resulting storage
+    /// operations.
     fn buffer_fetch(&mut self, slot: usize, ref_idx: usize) {
         let (node, obj_ref) = {
             let tx = self.txs.tx(slot);
             (
-                tx.node,
+                tx.exec_node,
                 self.templates.entry(tx.template).template.refs[ref_idx],
             )
         };

@@ -119,7 +119,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
         notify: bool,
         log_wb: bool,
     ) -> Flow {
-        let node = self.node_of(slot);
+        // I/O is issued by the buffer pool of the *executing* node (the
+        // partition owner while a shared-nothing reference runs shipped), so
+        // completion notifications must route back to that pool.
+        let node = self.exec_node_of(slot);
         self.start_io(node, unit, kind, page, wait.then_some(slot), notify, log_wb);
         if wait {
             self.txs.tx_mut(slot).state = TxState::WaitingIo;

@@ -16,6 +16,21 @@
 //! stale buffer copies at commit.  A single-node run is exactly the paper's
 //! centralized system.
 //!
+//! **Shared nothing**: with `config.architecture ==`
+//! [`Architecture::SharedNothing`](crate::config::Architecture) the database
+//! is instead *partitioned* over the nodes ([`dbmodel::PartitionMap`]).
+//! An object reference whose page is owned by another node is
+//! function-shipped: a `MicroOp::RemoteCall` carries execution to the owner
+//! (one-way message, `Ev::RemoteDone` delivers it), the reference's CPU
+//! burst — plus a remote-handling surcharge — runs on the *owner's* CPUs,
+//! the lock is taken without any message (locking is purely node-local; the
+//! global lock service runs in its local-only mode), the page is fetched
+//! through the *owner's* buffer pool, and a second `RemoteCall` ships the
+//! reply home.  Because a page is only ever cached at its owner there is no
+//! coherence traffic: commits skip the cross-node invalidation entirely and
+//! instead run a two-phase message exchange (`MicroOp::CommitExchange`) with
+//! the remote owners of the written pages.
+//!
 //! **Hot path**: the future event list is an indexed calendar queue
 //! ([`simkernel::EventQueue`]), and the per-event state lives in slab arenas
 //! (the private `arena` module) — in-flight I/O requests under stable `u32`
@@ -23,8 +38,9 @@
 //! transaction-template table — so steady-state event handling performs no
 //! hashing and (after warm-up) no allocation.
 //!
-//! The engine is split into focused subsystems; this module only defines the
-//! shared state and dispatches events:
+//! The engine is split into focused subsystems (see `docs/ARCHITECTURE.md`
+//! for the full map and an event-lifecycle walkthrough); this module only
+//! defines the shared state and dispatches events:
 //!
 //! * `source` — transaction arrivals, node assignment and per-node MPL
 //!   admission control,
@@ -59,15 +75,15 @@ use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 use bufmgr::BufferManager;
-use dbmodel::WorkloadGenerator;
+use dbmodel::{PartitionMap, PartitionScheme, WorkloadGenerator};
 use lockmgr::{GlobalLockService, GlobalLockStats, LockManagerStats};
 use simkernel::stats::{Histogram, Tally, TimeWeighted};
 use simkernel::time::{interarrival_ms, SimTime};
 use simkernel::{EventQueue, Resource, SimRng};
 use storage::{DiskUnitStats, StorageDevice};
 
-use crate::config::SimulationConfig;
-use crate::metrics::{KernelProfile, SimulationReport};
+use crate::config::{Architecture, SimulationConfig};
+use crate::metrics::{KernelProfile, ShippingReport, SimulationReport};
 use crate::recovery::RecoveryRuntime;
 
 use arena::{IoArena, TemplateTable, TxArena};
@@ -83,6 +99,11 @@ enum Ev {
     IoStage(u32),
     /// The message round trip of the transaction in the given slot finished.
     MsgDone(usize),
+    /// Shared nothing: the one-way function-shipping message of the
+    /// transaction in the given slot was delivered (execution resumes at the
+    /// node its `RemoteCall` shipped to), or its commit prepare round trip
+    /// completed.
+    RemoteDone(usize),
     /// Flush the open group-commit batch with the given sequence number if it
     /// is still open (timeout path).
     GroupCommitFlush(u64),
@@ -188,6 +209,12 @@ pub struct Simulation<W: WorkloadGenerator> {
     units: Vec<UnitRuntime>,
     lockmgr: GlobalLockService,
 
+    // Shared nothing: the page → owning-node map (`Some` exactly when
+    // `config.architecture == Architecture::SharedNothing`) and the
+    // function-shipping statistics accumulated since the warm-up reset.
+    partition_map: Option<PartitionMap>,
+    shipping: ShippingReport,
+
     // Transactions: slot arena plus the shared template table.  The lock
     // manager keeps the globally unique `u64` ids (their numeric order is its
     // wake-up order), so `id_to_slot` maps them back to arena slots when
@@ -288,7 +315,31 @@ impl<W: WorkloadGenerator> Simulation<W> {
         } else {
             0.0
         };
-        let lockmgr = GlobalLockService::new(config.cc_modes.clone(), 0, remote_delay);
+        // Shared nothing: locking is purely node-local (a node only ever
+        // locks the partitions it owns), so the lock service runs in its
+        // local-only mode — no home node, no message round trips.
+        let lockmgr = if config.architecture == Architecture::SharedNothing {
+            GlobalLockService::node_local(config.cc_modes.clone())
+        } else {
+            GlobalLockService::new(config.cc_modes.clone(), 0, remote_delay)
+        };
+        let partition_map = (config.architecture == Architecture::SharedNothing).then(|| {
+            let nodes = config.nodes.num_nodes;
+            let ppn = config.partitioning.partitions_per_node;
+            match config.partitioning.scheme {
+                PartitionScheme::Hash => PartitionMap::hash(nodes, ppn),
+                PartitionScheme::Range => {
+                    let total_pages = workload.total_pages();
+                    assert!(
+                        total_pages > 0,
+                        "range partitioning needs a workload generator that reports its \
+                         database size (WorkloadGenerator::total_pages)"
+                    );
+                    PartitionMap::range(nodes, ppn, total_pages)
+                }
+            }
+        });
+        let shipping = ShippingReport::empty(config.nodes.num_nodes);
         let end_time = config.total_time_ms();
         let recovery = config
             .recovery
@@ -304,6 +355,8 @@ impl<W: WorkloadGenerator> Simulation<W> {
             nodes,
             units,
             lockmgr,
+            partition_map,
+            shipping,
             txs: TxArena::default(),
             templates: TemplateTable::default(),
             id_to_slot: HashMap::new(),
@@ -367,6 +420,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
             "crash recovery requires logging to be enabled"
         );
         assert!(
+            self.config.architecture == Architecture::DataSharing,
+            "crash recovery is only modelled for the data-sharing architecture"
+        );
+        assert!(
             self.config
                 .recovery
                 .matches_update_strategy(self.config.buffer.update_strategy),
@@ -384,9 +441,11 @@ impl<W: WorkloadGenerator> Simulation<W> {
         self.nodes.len()
     }
 
-    /// The node the transaction in `slot` runs on.
-    fn node_of(&self, slot: usize) -> usize {
-        self.txs.node_of(slot)
+    /// The node the transaction in `slot` currently executes at (its home
+    /// node, except while a shared-nothing transaction is function-shipped
+    /// to a remote partition owner).
+    fn exec_node_of(&self, slot: usize) -> usize {
+        self.txs.exec_node_of(slot)
     }
 
     /// Runs the simulation to completion and produces the report.
@@ -431,7 +490,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 Ev::Arrival => self.handle_arrival(),
                 Ev::CpuDone(slot) => self.handle_cpu_done(slot),
                 Ev::IoStage(io_id) => self.handle_io_stage(io_id),
-                Ev::MsgDone(slot) => self.handle_msg_done(slot),
+                // Both message kinds resume the parked transaction the same
+                // way; a remote call's execution node was already switched
+                // when the message was scheduled.
+                Ev::MsgDone(slot) | Ev::RemoteDone(slot) => self.handle_msg_done(slot),
                 Ev::GroupCommitFlush(seq) => self.handle_group_commit_flush(seq),
                 Ev::Checkpoint => self.handle_checkpoint(),
             }

@@ -37,7 +37,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // Generate the transaction and assign it to a node.
         match self.workload.next_transaction(&mut self.workload_rng) {
             Some(template) => {
-                let template = self.templates.insert(template);
+                let template = self.templates.insert(template, self.partition_map.as_ref());
                 let node = self.next_arrival_node;
                 self.next_arrival_node = (self.next_arrival_node + 1) % self.num_nodes();
                 if self.nodes[node].active_count < self.config.cm.mpl {
@@ -64,7 +64,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
         template: TransactionTemplate,
         arrival: SimTime,
     ) {
-        let template = self.templates.insert(template);
+        let template = self.templates.insert(template, self.partition_map.as_ref());
         self.activate_interned(node, template, arrival);
     }
 

@@ -8,7 +8,7 @@ use storage::NvemDeviceParams;
 use crate::config::{LogAllocation, RecoveryParams};
 use crate::presets::{
     data_sharing_config, debit_credit_config, debit_credit_workload, recovery_config,
-    DebitCreditStorage, LOG_UNIT,
+    shared_nothing_config, DebitCreditStorage, LOG_UNIT,
 };
 
 use super::iorequest::IoRequest;
@@ -286,6 +286,153 @@ fn shared_log_disk_and_lock_messages_cap_multi_node_scaling() {
         "throughput {} should be capped by the shared log disk",
         sharing.throughput_tps
     );
+}
+
+// ---------------------------------------------------------------------------
+// Shared nothing (function shipping)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shared_nothing_ships_remote_references_and_needs_no_coherence() {
+    let mut config = shared_nothing_config(4, 200.0);
+    config.warmup_ms = 500.0;
+    config.measure_ms = 4_000.0;
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+    assert_eq!(report.nodes.len(), 4);
+    assert!(report.completed > 100, "completed {}", report.completed);
+    for node in &report.nodes {
+        assert!(node.completed > 0, "node {} completed nothing", node.node);
+        // Locking is node-local: nobody messages a global lock service.
+        assert_eq!(node.remote_lock_requests, 0);
+    }
+    assert_eq!(report.global_locks.remote_requests, 0);
+    assert_eq!(report.global_locks.messages, 0);
+    // A page is only ever cached at its owner: no invalidation traffic.
+    assert_eq!(report.invalidations(), 0);
+    let shipping = report.shipping.as_ref().expect("shipping section present");
+    // Hash declustering + round-robin routing: ≈ 3/4 of the references are
+    // remote at 4 nodes.
+    let frac = shipping.remote_access_fraction();
+    assert!(
+        (0.6..0.9).contains(&frac),
+        "remote access fraction {frac} should be ≈ 0.75 at 4 nodes"
+    );
+    assert!(shipping.remote_calls > 0);
+    assert_eq!(
+        shipping.per_node_remote_calls.iter().sum::<u64>(),
+        shipping.remote_calls,
+        "per-node remote calls must sum to the aggregate"
+    );
+    // Every shipped reference exchanges a call and a reply; commits add
+    // their two-phase exchanges on top.
+    assert!(shipping.commit_exchanges > 0);
+    assert!(shipping.commit_participants >= shipping.commit_exchanges);
+    assert!(
+        shipping.messages >= 2 * shipping.remote_calls,
+        "messages {} vs remote calls {}",
+        shipping.messages,
+        shipping.remote_calls
+    );
+    assert!(shipping.total_message_delay_ms > 0.0);
+    assert!(shipping.remote_cpu_ms > 0.0);
+}
+
+#[test]
+fn shared_nothing_single_node_degenerates_to_data_sharing() {
+    // With one node every page is owned locally: no calls are shipped and
+    // the run must be identical to the centralized (data-sharing) system —
+    // the report differs only by the (all-zero-remote) shipping section.
+    let make = |shared_nothing: bool| {
+        let mut c = if shared_nothing {
+            shared_nothing_config(1, 80.0)
+        } else {
+            data_sharing_config(1, 80.0)
+        };
+        c.warmup_ms = 300.0;
+        c.measure_ms = 2_000.0;
+        Simulation::new(c, debit_credit_workload(100)).run()
+    };
+    let sharing = make(false);
+    let mut nothing = make(true);
+    let shipping = nothing.shipping.take().expect("shipping section present");
+    assert_eq!(shipping.remote_calls, 0);
+    assert_eq!(shipping.messages, 0);
+    assert_eq!(shipping.commit_exchanges, 0);
+    assert!(shipping.local_refs > 0);
+    assert_eq!(
+        nothing, sharing,
+        "single-node shared nothing must match the centralized system"
+    );
+}
+
+#[test]
+fn shared_nothing_same_seed_same_report() {
+    let make = || {
+        let mut c = shared_nothing_config(3, 150.0);
+        c.warmup_ms = 300.0;
+        c.measure_ms = 2_000.0;
+        Simulation::new(c, debit_credit_workload(100)).run()
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a, b, "same seed must reproduce the shared-nothing report");
+    assert!(a.shipping.is_some());
+}
+
+#[test]
+fn shared_nothing_range_scheme_ships_too() {
+    let mut config = shared_nothing_config(2, 120.0);
+    config.partitioning = crate::config::PartitioningParams::range(8);
+    config.warmup_ms = 300.0;
+    config.measure_ms = 2_000.0;
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+    assert!(report.completed > 50);
+    let shipping = report.shipping.as_ref().expect("shipping section");
+    assert!(
+        shipping.remote_calls > 0,
+        "range declustering never shipped"
+    );
+    assert!(report.remote_access_fraction() > 0.1);
+}
+
+#[test]
+fn shared_nothing_partitions_the_log_and_avoids_the_shared_log_ceiling() {
+    // The data-sharing analogue test above shows 4 nodes at 400 TPS capped
+    // by the single shared log disk; the shared-nothing preset partitions
+    // the log (one disk per node) and keeps up with the offered load at the
+    // price of function-shipping messages.
+    let run = |shared_nothing: bool| {
+        let mut c = if shared_nothing {
+            shared_nothing_config(4, 400.0)
+        } else {
+            data_sharing_config(4, 400.0)
+        };
+        c.warmup_ms = 500.0;
+        c.measure_ms = 3_000.0;
+        Simulation::new(c, debit_credit_workload(100)).run()
+    };
+    let nothing = run(true);
+    let sharing = run(false);
+    assert!(
+        nothing.throughput_tps > 1.2 * sharing.throughput_tps,
+        "shared nothing {} TPS should beat the log-capped data sharing {} TPS",
+        nothing.throughput_tps,
+        sharing.throughput_tps
+    );
+    assert!(
+        nothing.devices[LOG_UNIT].disk_utilization < 0.9,
+        "the partitioned log must not saturate, got {}",
+        nothing.devices[LOG_UNIT].disk_utilization
+    );
+}
+
+#[test]
+#[should_panic(expected = "data-sharing architecture")]
+fn shared_nothing_crash_simulation_is_rejected() {
+    let mut c = shared_nothing_config(2, 100.0);
+    c.warmup_ms = 300.0;
+    c.measure_ms = 2_000.0;
+    let _ = Simulation::new(c, debit_credit_workload(100)).simulate_crash_at(1_000.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -42,6 +42,18 @@ pub(crate) enum MicroOp {
     /// Pure delay of `ms` (the message round trip of a remote request to the
     /// global lock service in a data-sharing configuration).
     RemoteDelay { ms: SimTime },
+    /// Shared nothing: ship execution to `node` (one-way message of the
+    /// configured `remote_msg_ms`).  The transaction blocks until
+    /// [`Ev::RemoteDone`](super::Ev) delivers the message; subsequent micro
+    /// operations (CPU bursts, lock requests, buffer fetches, I/O) run at
+    /// `node` until the next `RemoteCall` ships execution elsewhere (the
+    /// reply leg ships it back home).
+    RemoteCall { node: usize },
+    /// Shared nothing: the two-phase commit exchange with `participants`
+    /// remote owner nodes — one prepare round trip (the prepare/vote
+    /// messages to all participants travel in parallel) followed by
+    /// asynchronous commit messages the committer does not wait for.
+    CommitExchange { participants: u32 },
     /// Write the commit log record (resolved against the log allocation).
     LogWrite,
     /// Join the open group-commit batch for log device `unit` and block
@@ -87,8 +99,16 @@ pub(crate) struct Transaction {
     /// numeric order defines the lock manager's wake-up order, so it is
     /// never replaced by an arena index).
     pub id: u64,
-    /// The computing module (node) the transaction runs on.
+    /// The computing module (node) the transaction runs on (its *home*:
+    /// where it was admitted, where it occupies an MPL slot and where its
+    /// completion is counted).
     pub node: usize,
+    /// The node the transaction currently *executes* at.  Always equal to
+    /// `node` under data sharing; in a shared-nothing run a
+    /// [`MicroOp::RemoteCall`] ships execution to the owner of a remote
+    /// partition (CPU bursts and buffer fetches then use that node's
+    /// resources) and a second `RemoteCall` ships it back home.
+    pub exec_node: usize,
     /// Index of the transaction's reference string in the engine's shared
     /// template table.
     pub template: u32,
@@ -119,6 +139,7 @@ impl Transaction {
         Self {
             id,
             node,
+            exec_node: node,
             template,
             arrival,
             phase: TxPhase::BeforeAccess { next_ref: 0 },
@@ -137,6 +158,7 @@ impl Transaction {
     pub fn reuse(&mut self, id: u64, node: usize, template: u32, arrival: SimTime) {
         self.id = id;
         self.node = node;
+        self.exec_node = node;
         self.template = template;
         self.arrival = arrival;
         self.phase = TxPhase::BeforeAccess { next_ref: 0 };
@@ -156,6 +178,9 @@ impl Transaction {
         self.phase = TxPhase::BeforeAccess { next_ref: 0 };
         self.micro.clear();
         self.state = TxState::Ready;
+        // A victim shipped to a remote owner restarts at home (the abort
+        // notification itself is not charged).
+        self.exec_node = self.node;
         self.pending_lock_ref = None;
         self.lock_msg_paid = false;
         self.restarts += 1;
@@ -181,7 +206,9 @@ mod tests {
         tx.phase = TxPhase::Committing;
         tx.micro.push_back(MicroOp::Complete);
         tx.pending_lock_ref = Some(2);
+        tx.exec_node = 3; // shipped to a remote owner when the deadlock hit
         tx.restart();
+        assert_eq!(tx.exec_node, 0, "restart must return execution home");
         assert_eq!(tx.phase, TxPhase::BeforeAccess { next_ref: 0 });
         assert!(tx.micro.is_empty());
         assert_eq!(tx.pending_lock_ref, None);
@@ -197,8 +224,10 @@ mod tests {
         tx.restart();
         tx.micro.push_back(MicroOp::Complete);
         tx.lock_msg_paid = true;
+        tx.exec_node = 5;
         tx.reuse(9, 2, 3, 100.0);
         assert_eq!((tx.id, tx.node, tx.template, tx.arrival), (9, 2, 3, 100.0));
+        assert_eq!(tx.exec_node, 2);
         assert_eq!(tx.phase, TxPhase::BeforeAccess { next_ref: 0 });
         assert!(tx.micro.is_empty());
         assert!(!tx.lock_msg_paid);

@@ -34,6 +34,10 @@
 //! assert!(report.response_time.mean > 0.0);
 //! ```
 
+// Every public item of the crate must be documented; CI builds docs with
+// `RUSTDOCFLAGS=-D warnings`, which turns missed items into hard errors.
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod engine;
 pub mod metrics;
@@ -42,13 +46,13 @@ pub mod recovery;
 pub mod tables;
 
 pub use config::{
-    CmParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams, RecoveryParams,
-    SimulationConfig,
+    Architecture, CmParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams,
+    PartitioningParams, RecoveryParams, SimulationConfig,
 };
 pub use engine::Simulation;
 pub use metrics::{
     DeviceReport, KernelProfile, NodeReport, RecoveryReport, ResponseTimeStats, RestartReport,
-    SimulationReport,
+    ShippingReport, SimulationReport,
 };
 
 // Re-export the substrate crates so downstream users need only one dependency.

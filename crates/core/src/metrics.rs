@@ -146,6 +146,68 @@ pub struct RestartReport {
     pub locks_reacquired: u64,
 }
 
+/// Function-shipping statistics of a shared-nothing run, present whenever
+/// [`crate::config::Architecture::SharedNothing`] is configured (and absent —
+/// not even rendered — otherwise, so data-sharing reports are byte-identical
+/// to reports from before the shared-nothing mode existed).
+///
+/// An *object reference* is local when the referenced page's partition is
+/// owned by the transaction's home node and remote (a function-shipped call)
+/// otherwise; `remote_access_fraction` is the headline knob of the
+/// architecture comparison: it grows with the node count (≈ `(n-1)/n` under
+/// hash declustering with round-robin transaction routing), and with it the
+/// message and remote-CPU overhead of the shared-nothing architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShippingReport {
+    /// Object references executed on the transaction's home node.
+    pub local_refs: u64,
+    /// Object references function-shipped to a remote owner node.
+    pub remote_calls: u64,
+    /// Messages exchanged (call + reply per shipped reference; 2 prepare +
+    /// 1 commit message per remote commit participant).
+    pub messages: u64,
+    /// Total simulated message delay charged (ms).
+    pub total_message_delay_ms: f64,
+    /// CPU time (ms) shipped to owner nodes for remote request handling
+    /// (the `remote_cpu_instr` surcharge, excluding the reference work
+    /// itself).
+    pub remote_cpu_ms: f64,
+    /// Commits that ran a two-phase exchange (at least one written page was
+    /// owned by a remote node).
+    pub commit_exchanges: u64,
+    /// Remote commit participants summed over all two-phase exchanges.
+    pub commit_participants: u64,
+    /// Function-shipped calls issued per home node.
+    pub per_node_remote_calls: Vec<u64>,
+}
+
+impl ShippingReport {
+    /// An all-zero report for `num_nodes` nodes (the engine's accumulator).
+    pub fn empty(num_nodes: usize) -> Self {
+        Self {
+            local_refs: 0,
+            remote_calls: 0,
+            messages: 0,
+            total_message_delay_ms: 0.0,
+            remote_cpu_ms: 0.0,
+            commit_exchanges: 0,
+            commit_participants: 0,
+            per_node_remote_calls: vec![0; num_nodes],
+        }
+    }
+
+    /// Fraction of object references that were function-shipped (0 when no
+    /// reference completed).
+    pub fn remote_access_fraction(&self) -> f64 {
+        let total = self.local_refs + self.remote_calls;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_calls as f64 / total as f64
+        }
+    }
+}
+
 /// Wall-clock throughput of the simulation kernel over one run, as measured
 /// by [`Simulation::run_profiled`].  Not part of [`SimulationReport`] (the
 /// report describes the *simulated* system and stays byte-identical across
@@ -186,7 +248,12 @@ pub struct TxTypeReport {
 }
 
 /// The complete result of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Debug` is implemented by hand (field-for-field like the derive) so the
+/// `shipping` section only renders for shared-nothing runs: the `{:#?}`
+/// goldens of data-sharing reports captured before the shared-nothing mode
+/// stay byte-identical.
+#[derive(Clone, PartialEq)]
 pub struct SimulationReport {
     /// Configured arrival rate (TPS).
     pub arrival_rate_tps: f64,
@@ -225,11 +292,44 @@ pub struct SimulationReport {
     /// Recovery/checkpointing statistics; `None` when the recovery subsystem
     /// was inactive (checkpointing disabled and no crash simulated).
     pub recovery: Option<RecoveryReport>,
+    /// Function-shipping statistics; `Some` exactly for shared-nothing runs
+    /// (and omitted from the `Debug` rendering otherwise).
+    pub shipping: Option<ShippingReport>,
     /// Per-storage-device reports (one per configured [`storage::DeviceSpec`]).
     pub devices: Vec<DeviceReport>,
     /// Per-node breakdown (one entry per computing module; a single-node run
     /// has one entry mirroring the aggregate fields).
     pub nodes: Vec<NodeReport>,
+}
+
+impl std::fmt::Debug for SimulationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("SimulationReport");
+        s.field("arrival_rate_tps", &self.arrival_rate_tps)
+            .field("completed", &self.completed)
+            .field("aborts", &self.aborts)
+            .field("log_group_writes", &self.log_group_writes)
+            .field("measured_time_ms", &self.measured_time_ms)
+            .field("throughput_tps", &self.throughput_tps)
+            .field("response_time", &self.response_time)
+            .field("per_type", &self.per_type)
+            .field("cpu_utilization", &self.cpu_utilization)
+            .field("nvem_utilization", &self.nvem_utilization)
+            .field("avg_active_transactions", &self.avg_active_transactions)
+            .field("avg_input_queue", &self.avg_input_queue)
+            .field("buffer", &self.buffer)
+            .field("locks", &self.locks)
+            .field("global_locks", &self.global_locks)
+            .field("recovery", &self.recovery);
+        // Pre-shared-nothing reports had no such field; rendering it only
+        // when present keeps the committed data-sharing goldens byte-exact.
+        if self.shipping.is_some() {
+            s.field("shipping", &self.shipping);
+        }
+        s.field("devices", &self.devices)
+            .field("nodes", &self.nodes)
+            .finish()
+    }
 }
 
 impl SimulationReport {
@@ -261,6 +361,15 @@ impl SimulationReport {
     /// single-node run).
     pub fn invalidations(&self) -> u64 {
         self.buffer.invalidations
+    }
+
+    /// Fraction of object references function-shipped to a remote owner
+    /// (0 for data-sharing runs, which never ship).
+    pub fn remote_access_fraction(&self) -> f64 {
+        self.shipping
+            .as_ref()
+            .map(|s| s.remote_access_fraction())
+            .unwrap_or(0.0)
     }
 
     /// Simulated restart time after a crash (0 when no crash was simulated).
@@ -342,6 +451,7 @@ mod tests {
             },
             global_locks: GlobalLockStats::default(),
             recovery: None,
+            shipping: None,
             nodes: Vec::new(),
             devices: vec![DeviceReport {
                 name: "db".into(),
@@ -373,6 +483,31 @@ mod tests {
         assert!(line.contains("100.0 TPS"));
         assert!(line.contains("25.00 ms"));
         assert!(line.contains("70.0%"));
+    }
+
+    #[test]
+    fn shipping_section_renders_only_when_present() {
+        let mut r = dummy_report();
+        assert_eq!(r.remote_access_fraction(), 0.0);
+        let without = format!("{r:#?}");
+        assert!(!without.contains("shipping"));
+        let mut shipping = ShippingReport::empty(2);
+        shipping.local_refs = 30;
+        shipping.remote_calls = 10;
+        r.shipping = Some(shipping);
+        let with = format!("{r:#?}");
+        assert!(with.contains("shipping"));
+        assert!((r.remote_access_fraction() - 0.25).abs() < 1e-12);
+        // The two renderings differ only by the shipping section: stripping
+        // it restores the data-sharing form field for field.
+        assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn empty_shipping_report_has_no_remote_fraction() {
+        let s = ShippingReport::empty(3);
+        assert_eq!(s.per_node_remote_calls, vec![0, 0, 0]);
+        assert_eq!(s.remote_access_fraction(), 0.0);
     }
 
     #[test]

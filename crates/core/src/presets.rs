@@ -14,7 +14,10 @@
 //!
 //! Beyond the paper, [`data_sharing_config`] builds the multi-node
 //! data-sharing topology (N computing modules, shared storage complex, global
-//! lock service) swept by the `fig5_x_node_scaling` bench, and
+//! lock service) swept by the `fig5_x_node_scaling` bench,
+//! [`shared_nothing_config`] the partitioned (shared-nothing,
+//! function-shipping) alternative compared against it by the `fig7.x`
+//! experiment and the `fig7_architecture_compare` bench, and
 //! [`recovery_config`] builds the crash-recovery topology (FORCE/NOFORCE ×
 //! disk-/NVEM-resident log × checkpoint interval) swept by the
 //! `fig6_restart_time` bench.
@@ -31,8 +34,8 @@ use simkernel::SimRng;
 use storage::{DeviceSpec, DiskUnitKind, DiskUnitParams, NvemParams};
 
 use crate::config::{
-    CmParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams, RecoveryParams,
-    SimulationConfig,
+    Architecture, CmParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams,
+    PartitioningParams, RecoveryParams, SimulationConfig,
 };
 
 /// Index of the database disk unit in every preset that uses disks.
@@ -184,6 +187,8 @@ pub fn debit_credit_config(storage: DebitCreditStorage, arrival_rate_tps: f64) -
     SimulationConfig {
         cm: CmParams::default(),
         nodes: NodeParams::default(),
+        architecture: Architecture::DataSharing,
+        partitioning: PartitioningParams::default(),
         nvem: NvemParams::default(),
         devices,
         log_allocation,
@@ -285,6 +290,39 @@ pub fn data_sharing_config(num_nodes: usize, arrival_rate_tps: f64) -> Simulatio
     config.nodes = NodeParams::data_sharing(num_nodes);
     // One shared log disk so log traffic, not CPU capacity, caps scaling.
     config.devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::Regular, 1, 1);
+    config
+}
+
+/// Shared-nothing configuration: the same `num_nodes`-CM Debit-Credit
+/// topology as [`data_sharing_config`] (same database, same per-CM
+/// parameters, same total arrival rate assigned round robin), but with
+/// [`Architecture::SharedNothing`]: the database is hash-declustered over
+/// the nodes ([`PartitioningParams::default`]), remote object references are
+/// function-shipped to the partition owner (message round trip + remote CPU
+/// surcharge on the owner), locking is node-local, and commit runs a
+/// two-phase message exchange with the remote owners of the written pages.
+///
+/// Architectural difference on the log side: shared nothing partitions the
+/// *log* too (each node logs locally), so the log unit gets one disk per
+/// node, while [`data_sharing_config`] keeps the single *shared* log disk
+/// all nodes queue at.  (Approximation: the `n` log disks live in one unit
+/// and serve a common queue — a pooled M/M/n rather than `n` independent
+/// per-node M/M/1 queues, so waits are slightly shorter than a strictly
+/// partitioned log under bursty per-node traffic; the capacity scaling,
+/// which drives the crossover, is the same.)  This asymmetry is the
+/// architecture, not a tuning choice — and it is where the `fig7.x`
+/// crossover comes from: data sharing
+/// saturates its shared log disk as nodes are added, shared nothing instead
+/// pays a growing function-shipping overhead as the remote-access fraction
+/// `(n-1)/n` rises.  With `num_nodes == 1` both configurations degenerate to
+/// the same centralized single-log-disk system and produce identical
+/// steady-state behaviour.
+pub fn shared_nothing_config(num_nodes: usize, arrival_rate_tps: f64) -> SimulationConfig {
+    let mut config = data_sharing_config(num_nodes, arrival_rate_tps);
+    config.architecture = Architecture::SharedNothing;
+    config.partitioning = PartitioningParams::default();
+    // One log disk per node: each partition owner logs locally.
+    config.devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::Regular, num_nodes, 1);
     config
 }
 
@@ -505,6 +543,8 @@ pub fn trace_config(
             ..CmParams::default()
         },
         nodes: NodeParams::default(),
+        architecture: Architecture::DataSharing,
+        partitioning: PartitioningParams::default(),
         nvem: NvemParams::default(),
         devices,
         log_allocation,
@@ -585,6 +625,8 @@ pub fn contention_config(
     SimulationConfig {
         cm: CmParams::default(),
         nodes: NodeParams::default(),
+        architecture: Architecture::DataSharing,
+        partitioning: PartitioningParams::default(),
         nvem: NvemParams::default(),
         devices: vec![
             db_disk_unit(DiskUnitKind::Regular, 1),
@@ -751,6 +793,24 @@ mod tests {
         reference.devices[LOG_UNIT] = log_disk_unit(DiskUnitKind::Regular, 1, 1);
         reference.nodes = NodeParams::data_sharing(1);
         assert_eq!(single, reference);
+    }
+
+    #[test]
+    fn shared_nothing_presets_validate() {
+        for n in [1, 2, 4, 8] {
+            let c = shared_nothing_config(n, 300.0);
+            assert!(c.validate().is_ok(), "{n} nodes: {:?}", c.validate());
+            assert_eq!(c.architecture, Architecture::SharedNothing);
+            assert_eq!(c.nodes.num_nodes, n);
+            // One log disk per node (the partitioned log).
+            assert_eq!(c.devices[LOG_UNIT].disk().num_disks, n);
+        }
+        // Apart from architecture, partitioning and the log layout, the
+        // shared-nothing preset is the data-sharing topology.
+        let mut sn = shared_nothing_config(4, 300.0);
+        sn.architecture = Architecture::DataSharing;
+        sn.devices[LOG_UNIT] = data_sharing_config(4, 300.0).devices[LOG_UNIT];
+        assert_eq!(sn, data_sharing_config(4, 300.0));
     }
 
     #[test]

@@ -274,6 +274,10 @@ impl WorkloadGenerator for DebitCreditGenerator {
     fn name(&self) -> &str {
         "debit-credit"
     }
+
+    fn total_pages(&self) -> u64 {
+        self.database.total_pages()
+    }
 }
 
 #[cfg(test)]

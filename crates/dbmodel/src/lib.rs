@@ -16,6 +16,7 @@
 pub mod database;
 pub mod debit_credit;
 pub mod reference;
+pub mod sharding;
 pub mod synthetic;
 pub mod trace;
 pub mod types;
@@ -23,6 +24,7 @@ pub mod types;
 pub use database::{Database, Partition, PartitionId, Subpartition};
 pub use debit_credit::{DebitCreditConfig, DebitCreditGenerator};
 pub use reference::ReferenceMatrix;
+pub use sharding::{PartitionMap, PartitionScheme};
 pub use synthetic::{SyntheticWorkload, TransactionTypeSpec};
 pub use trace::{SyntheticTraceSpec, Trace, TraceGenerator, TraceTransaction};
 pub use types::{

@@ -204,6 +204,10 @@ impl WorkloadGenerator for SyntheticWorkload {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn total_pages(&self) -> u64 {
+        self.database.total_pages()
+    }
 }
 
 /// Builds the two-partition, high-contention synthetic workload used in the

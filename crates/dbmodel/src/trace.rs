@@ -501,6 +501,10 @@ impl WorkloadGenerator for TraceGenerator {
     fn name(&self) -> &str {
         "trace-replay"
     }
+
+    fn total_pages(&self) -> u64 {
+        self.database.total_pages()
+    }
 }
 
 #[cfg(test)]

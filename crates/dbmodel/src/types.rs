@@ -115,6 +115,14 @@ pub trait WorkloadGenerator {
 
     /// A human-readable name for reports.
     fn name(&self) -> &str;
+
+    /// Total number of global pages of the underlying database, used to build
+    /// range [`crate::PartitionMap`]s for shared-nothing runs.  Generators
+    /// without a materialized database may return the default `0`; a
+    /// range-partitioned simulation then refuses to start.
+    fn total_pages(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

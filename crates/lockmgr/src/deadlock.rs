@@ -11,9 +11,12 @@
 //! The graph sits on the lock manager's per-commit path
 //! ([`WaitsForGraph::remove_transaction`] runs for *every* release), so it
 //! keeps a reverse index (blocker → waiters) to remove a transaction in
-//! `O(degree)` instead of scanning every blocked transaction, and reuses its
+//! `O(degree)` instead of scanning every blocked transaction, reuses its
 //! DFS scratch buffers across checks instead of allocating per denied
-//! request.
+//! request, and recycles the per-transaction edge sets through a free pool:
+//! under contention, transactions block and release continuously, and
+//! without the pool every block/release pair allocated (and dropped) fresh
+//! `HashSet`s on this hot path.
 
 use std::collections::{HashMap, HashSet};
 
@@ -27,6 +30,9 @@ pub struct WaitsForGraph {
     /// `reverse[t]` = set of transactions waiting for `t` (incoming edges),
     /// kept in lockstep with `edges` so removal never scans the whole graph.
     reverse: HashMap<TxId, HashSet<TxId>>,
+    /// Pool of emptied edge sets, recycled by `add_waits` so the steady
+    /// block/release churn stops allocating (sets keep their capacity).
+    pool: Vec<HashSet<TxId>>,
     /// DFS scratch (cleared per check, allocation reused).
     visited: HashSet<TxId>,
     /// DFS stack scratch.
@@ -44,25 +50,36 @@ impl WaitsForGraph {
         if blockers.is_empty() {
             return;
         }
-        let set = self.edges.entry(waiter).or_default();
+        let pool = &mut self.pool;
+        let reverse = &mut self.reverse;
+        let set = self
+            .edges
+            .entry(waiter)
+            .or_insert_with(|| pool.pop().unwrap_or_default());
         for b in blockers {
             if *b != waiter && set.insert(*b) {
-                self.reverse.entry(*b).or_default().insert(waiter);
+                reverse
+                    .entry(*b)
+                    .or_insert_with(|| pool.pop().unwrap_or_default())
+                    .insert(waiter);
             }
         }
     }
 
     /// Removes all outgoing edges of `waiter` (it is no longer blocked).
     pub fn clear_waits(&mut self, waiter: TxId) {
-        if let Some(blockers) = self.edges.remove(&waiter) {
-            for b in blockers {
+        if let Some(mut blockers) = self.edges.remove(&waiter) {
+            for b in blockers.drain() {
                 if let Some(set) = self.reverse.get_mut(&b) {
                     set.remove(&waiter);
                     if set.is_empty() {
-                        self.reverse.remove(&b);
+                        let set = self.reverse.remove(&b).expect("reverse set exists");
+                        self.pool.push(set);
                     }
                 }
             }
+            // The drained (empty, capacity-keeping) set goes back to the pool.
+            self.pool.push(blockers);
         }
     }
 
@@ -70,8 +87,8 @@ impl WaitsForGraph {
     /// edge (other transactions no longer wait for it).
     pub fn remove_transaction(&mut self, tx: TxId) {
         self.clear_waits(tx);
-        if let Some(waiters) = self.reverse.remove(&tx) {
-            for w in waiters {
+        if let Some(mut waiters) = self.reverse.remove(&tx) {
+            for w in waiters.drain() {
                 if let Some(set) = self.edges.get_mut(&w) {
                     set.remove(&tx);
                     // An empty outgoing set is kept until `clear_waits`: the
@@ -79,7 +96,14 @@ impl WaitsForGraph {
                     // remaining blockers just all released.
                 }
             }
+            self.pool.push(waiters);
         }
+    }
+
+    /// Number of recycled edge sets currently parked in the free pool
+    /// (diagnostic for the allocation-pooling tests).
+    pub fn pooled_sets(&self) -> usize {
+        self.pool.len()
     }
 
     /// Number of blocked transactions currently recorded.
@@ -203,6 +227,37 @@ mod tests {
         g.add_waits(3, &[4]);
         assert!(!g.would_deadlock(4, &[5]));
         assert!(g.would_deadlock(4, &[1]));
+    }
+
+    #[test]
+    fn emptied_edge_sets_are_pooled_and_reused() {
+        let mut g = WaitsForGraph::new();
+        assert_eq!(g.pooled_sets(), 0);
+        // One outgoing set (waiter 1) and two reverse sets (blockers 2, 3).
+        g.add_waits(1, &[2, 3]);
+        assert_eq!(g.pooled_sets(), 0);
+        // Clearing frees all three into the pool ...
+        g.clear_waits(1);
+        assert_eq!(g.pooled_sets(), 3);
+        // ... and the next block reuses them instead of allocating.
+        g.add_waits(4, &[5]);
+        assert_eq!(g.pooled_sets(), 1);
+        g.remove_transaction(5);
+        // 5's reverse set and (via clear_waits inside remove) nothing else:
+        // 4's outgoing set stays (4 is still blocked in the table).
+        assert_eq!(g.pooled_sets(), 2);
+        assert_eq!(g.blocked_count(), 1);
+        assert!(g.waits_of(4).is_empty());
+        g.clear_waits(4);
+        assert_eq!(g.pooled_sets(), 3);
+        assert_eq!(g.blocked_count(), 0);
+        // Steady-state churn holds the pool size: block/release cycles stop
+        // growing it once the high-water mark is reached.
+        for round in 0..10u64 {
+            g.add_waits(10 + round, &[100 + round]);
+            g.clear_waits(10 + round);
+        }
+        assert_eq!(g.pooled_sets(), 3);
     }
 
     #[test]

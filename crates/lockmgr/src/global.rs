@@ -50,6 +50,9 @@ pub struct GlobalLockService {
     table: GlobalLockTable,
     home_node: usize,
     message_delay_ms: f64,
+    /// Shared-nothing mode: every request is node-local (the requesting node
+    /// owns the partition), so no home node, no messages, no remote split.
+    local_only: bool,
     stats: GlobalLockStats,
 }
 
@@ -62,6 +65,7 @@ impl GlobalLockService {
             table: GlobalLockTable::new(modes),
             home_node,
             message_delay_ms: message_delay_ms.max(0.0),
+            local_only: false,
             stats: GlobalLockStats::default(),
         }
     }
@@ -70,6 +74,25 @@ impl GlobalLockService {
     /// are ever exchanged.  Behaves exactly like a plain [`LockManager`].
     pub fn single_node(modes: Vec<CcMode>) -> Self {
         Self::new(modes, 0, 0.0)
+    }
+
+    /// A *node-local* service for shared-nothing configurations: every node
+    /// locks only the partitions it owns, so a request never crosses nodes —
+    /// no round trips, no remote/local split, every request counted as local
+    /// regardless of the requesting node.  The single table still detects
+    /// deadlocks that span nodes (a centralized detector over per-node
+    /// tables whose lock sets are disjoint by construction).
+    pub fn node_local(modes: Vec<CcMode>) -> Self {
+        Self {
+            local_only: true,
+            ..Self::new(modes, 0, 0.0)
+        }
+    }
+
+    /// True for the shared-nothing (node-local) service: lock requests never
+    /// exchange messages and are never counted as remote.
+    pub fn is_local_only(&self) -> bool {
+        self.local_only
     }
 
     /// The node hosting the service.
@@ -93,7 +116,7 @@ impl GlobalLockService {
     /// must simulate before calling [`GlobalLockService::acquire`], or `None`
     /// when the request is local (home node, or a zero configured delay).
     pub fn remote_round_trip(&self, node: usize) -> Option<f64> {
-        (node != self.home_node && self.message_delay_ms > 0.0)
+        (!self.local_only && node != self.home_node && self.message_delay_ms > 0.0)
             .then_some(2.0 * self.message_delay_ms)
     }
 
@@ -102,7 +125,7 @@ impl GlobalLockService {
     /// [`GlobalLockService::remote_round_trip`] delay, if any.
     pub fn acquire(&mut self, node: usize, tx: TxId, r: &ObjectRef) -> LockOutcome {
         if self.needs_lock(r) {
-            if node == self.home_node {
+            if self.local_only || node == self.home_node {
                 self.stats.local_requests += 1;
             } else {
                 self.stats.remote_requests += 1;
@@ -226,6 +249,26 @@ mod tests {
         // Node 4 is "remote" but the delay is zero; the split is still kept.
         assert_eq!(s.global_stats().remote_requests, 1);
         assert_eq!(s.global_stats().total_message_delay_ms, 0.0);
+    }
+
+    #[test]
+    fn node_local_service_never_messages_and_counts_everything_local() {
+        let mut s = GlobalLockService::node_local(vec![CcMode::Page]);
+        assert!(s.is_local_only());
+        assert_eq!(s.remote_round_trip(0), None);
+        assert_eq!(s.remote_round_trip(5), None);
+        assert_eq!(s.acquire(5, 1, &obj_ref(0, 1, true)), LockOutcome::Granted);
+        assert_eq!(s.acquire(2, 2, &obj_ref(0, 2, true)), LockOutcome::Granted);
+        let g = s.global_stats();
+        assert_eq!(g.local_requests, 2);
+        assert_eq!(g.remote_requests, 0);
+        assert_eq!(g.messages, 0);
+        assert_eq!(g.total_message_delay_ms, 0.0);
+        // Conflicts (and deadlock detection) still work through the table.
+        assert_eq!(s.acquire(2, 3, &obj_ref(0, 1, true)), LockOutcome::Blocked);
+        assert_eq!(s.release_all(1), vec![3]);
+        // The ordinary constructors stay non-local.
+        assert!(!GlobalLockService::single_node(vec![CcMode::Page]).is_local_only());
     }
 
     #[test]

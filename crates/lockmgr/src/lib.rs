@@ -16,6 +16,10 @@
 //! [`GlobalLockService`]: one shared [`GlobalLockTable`] plus a configurable
 //! message delay per remote lock request.
 
+// Every public item must be documented (same discipline as `tpsim`; CI
+// builds docs with `RUSTDOCFLAGS=-D warnings`).
+#![warn(missing_docs)]
+
 pub mod deadlock;
 pub mod global;
 pub mod manager;

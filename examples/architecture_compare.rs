@@ -1,0 +1,67 @@
+//! Architecture comparison: the same multi-node Debit-Credit workload on
+//! data sharing (shared storage, global locks, commit-time invalidation) and
+//! shared nothing (partitioned database and log, function-shipped remote
+//! accesses, node-local locks, two-phase commit messages).
+//!
+//! ```bash
+//! cargo run --release --example architecture_compare
+//! ```
+
+use tpsim::presets::{data_sharing_config, debit_credit_workload, shared_nothing_config, LOG_UNIT};
+use tpsim::{Simulation, SimulationConfig};
+
+fn run(label: &str, mut config: SimulationConfig) {
+    config.warmup_ms = 1_000.0;
+    config.measure_ms = 5_000.0;
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+
+    println!("== {label} ==");
+    println!(
+        "  throughput             : {:.1} TPS",
+        report.throughput_tps
+    );
+    println!(
+        "  mean response time     : {:.2} ms",
+        report.response_time.mean
+    );
+    println!(
+        "  log-device utilization : {:.1} %",
+        report.devices[LOG_UNIT].disk_utilization * 100.0
+    );
+    match &report.shipping {
+        Some(shipping) => {
+            println!(
+                "  remote-access fraction : {:.1} % ({} calls shipped)",
+                shipping.remote_access_fraction() * 100.0,
+                shipping.remote_calls
+            );
+            println!(
+                "  messages               : {} ({} commit exchanges)",
+                shipping.messages, shipping.commit_exchanges
+            );
+        }
+        None => {
+            println!(
+                "  remote lock requests   : {} ({} messages)",
+                report.remote_lock_requests(),
+                report.global_locks.messages
+            );
+            println!("  invalidations          : {}", report.invalidations());
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let nodes = 4;
+    let rate = 60.0 * nodes as f64;
+    println!(
+        "TPSIM architecture comparison: {nodes} computing modules, {rate:.0} TPS offered total\n"
+    );
+    run("data sharing", data_sharing_config(nodes, rate));
+    run("shared nothing", shared_nothing_config(nodes, rate));
+    println!("Data sharing queues all commits at one shared log disk (its ceiling is");
+    println!("~200 TPS), while shared nothing partitions the log but pays messages and");
+    println!("remote CPU for every function-shipped access — the trade-off behind the");
+    println!("fig7.x crossover (see docs/ARCHITECTURE.md and `experiments -- fig7.x`).");
+}
