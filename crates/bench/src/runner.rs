@@ -38,6 +38,12 @@ pub struct RunSettings {
     pub parallel: bool,
     /// Worker threads for parallel sweeps (0 = one per available core).
     pub threads: usize,
+    /// Worker threads of the sharded event kernel *inside* each simulation
+    /// (`SimulationConfig::parallelism`); 0/1 = the sequential kernel.
+    /// Reports are byte-identical for every value — this only trades
+    /// sweep-level for run-level parallelism, which pays off when a sweep has
+    /// fewer points than the host has cores (e.g. one big multi-node run).
+    pub kernel_threads: usize,
 }
 
 impl RunSettings {
@@ -55,6 +61,7 @@ impl RunSettings {
             recovery_rate: 150.0,
             parallel: true,
             threads: 0,
+            kernel_threads: 0,
         }
     }
 
@@ -73,6 +80,7 @@ impl RunSettings {
             recovery_rate: 150.0,
             parallel: true,
             threads: 0,
+            kernel_threads: 0,
         }
     }
 
@@ -89,12 +97,14 @@ impl RunSettings {
             recovery_rate: 150.0,
             parallel: true,
             threads: 0,
+            kernel_threads: 0,
         }
     }
 
     fn apply(&self, mut config: SimulationConfig) -> SimulationConfig {
         config.warmup_ms = self.warmup_ms;
         config.measure_ms = self.measure_ms;
+        config.parallelism.kernel_threads = self.kernel_threads;
         config
     }
 }
@@ -441,6 +451,45 @@ mod tests {
         for (s, p) in seq.iter().zip(par.iter()) {
             assert_eq!(s.report, p.report);
             assert_eq!(s.report.nodes.len(), s.x as usize);
+        }
+    }
+
+    #[test]
+    fn sharded_kernel_nested_in_parallel_sweep_is_byte_identical() {
+        // The two parallelism levels compose: sweep workers on the outside,
+        // sharded event kernels inside each run.  Every combination must
+        // reproduce the fully serial sweep byte for byte.
+        let mk_points = || {
+            [2usize, 4]
+                .iter()
+                .map(|&n| {
+                    (
+                        format!("{n}-node"),
+                        n as f64,
+                        data_sharing_point(n, 120.0),
+                        Family::DebitCredit,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut settings = RunSettings::quick();
+        settings.parallel = false;
+        settings.kernel_threads = 0;
+        let oracle = run_sweep(&settings, mk_points());
+        for (parallel, kernel_threads) in [(false, 4), (true, 4), (true, 2)] {
+            settings.parallel = parallel;
+            settings.threads = 2;
+            settings.kernel_threads = kernel_threads;
+            let nested = run_sweep(&settings, mk_points());
+            assert_eq!(oracle.len(), nested.len());
+            for (s, p) in oracle.iter().zip(nested.iter()) {
+                assert_eq!(
+                    s.report, p.report,
+                    "sweep(parallel={parallel}) x kernel_threads={kernel_threads} \
+                     diverged on '{}'",
+                    s.series
+                );
+            }
         }
     }
 

@@ -125,7 +125,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             self.flush_commit_group();
         } else if self.commit_group.len() == 1 {
             // First member: arm the flush timeout for this batch.
-            self.queue.schedule_in(
+            self.sched_in(
                 self.config.cm.group_commit_timeout_ms,
                 Ev::GroupCommitFlush(self.commit_group_seq),
             );

@@ -1,0 +1,88 @@
+//! The engine's future event list, over either kernel.
+//!
+//! [`KernelQueue`] is the one seam between the simulation handlers and the
+//! event kernel: the sequential calendar ([`simkernel::EventQueue`], the
+//! default and the byte-identity oracle) or the sharded conservative-
+//! lookahead kernel ([`simkernel::ShardedEventQueue`], selected by
+//! [`crate::config::ParallelismParams::kernel_threads`] `>= 2`).
+//!
+//! Both variants expose the identical clock / schedule / pop contract —
+//! events pop in ascending `(time, seq)` with the same clamp semantics — so
+//! the handlers cannot observe which kernel is running; the shard id passed
+//! to the schedule calls is routing advice that the sequential kernel
+//! ignores (see [`super::Simulation::shard_of`] for the routing rules).
+
+use simkernel::time::SimTime;
+use simkernel::{EventQueue, ScheduledEvent, ShardedEventQueue};
+
+use super::Ev;
+
+/// The engine-facing future event list: sequential or sharded.
+pub(super) enum KernelQueue {
+    /// The sequential calendar queue (kernel_threads <= 1).
+    Single(EventQueue<Ev>),
+    /// The sharded conservative-lookahead kernel; the coordinator half lives
+    /// here, the shard calendars live on the worker threads spawned by
+    /// [`super::Simulation::run_events_sharded`].
+    Sharded(ShardedEventQueue<Ev>),
+}
+
+impl KernelQueue {
+    /// Current simulated time (the time of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        match self {
+            KernelQueue::Single(q) => q.now(),
+            KernelQueue::Sharded(q) => q.now(),
+        }
+    }
+
+    /// Schedules `payload` at absolute time `at` on `shard` (ignored by the
+    /// sequential kernel).
+    #[inline]
+    pub fn schedule_at(&mut self, shard: usize, at: SimTime, payload: Ev) {
+        match self {
+            KernelQueue::Single(q) => q.schedule_at(at, payload),
+            KernelQueue::Sharded(q) => q.schedule_at(shard, at, payload),
+        }
+    }
+
+    /// Schedules `payload` after `delay` ms (relative to the global clock)
+    /// on `shard` (ignored by the sequential kernel).
+    #[inline]
+    pub fn schedule_in(&mut self, shard: usize, delay: SimTime, payload: Ev) {
+        match self {
+            KernelQueue::Single(q) => q.schedule_in(delay, payload),
+            KernelQueue::Sharded(q) => q.schedule_in(shard, delay, payload),
+        }
+    }
+
+    /// Pops the globally next event and advances the clock.
+    #[inline]
+    pub fn pop(&mut self) -> Option<ScheduledEvent<Ev>> {
+        match self {
+            KernelQueue::Single(q) => q.pop(),
+            KernelQueue::Sharded(q) => q.pop(),
+        }
+    }
+
+    /// Total number of events ever popped (the event count of a finished
+    /// run).
+    #[inline]
+    pub fn popped_total(&self) -> u64 {
+        match self {
+            KernelQueue::Single(q) => q.popped_total(),
+            KernelQueue::Sharded(q) => q.popped_total(),
+        }
+    }
+
+    /// Synchronization rounds run by the sharded kernel (0 for the
+    /// sequential kernel); diagnostic.
+    #[inline]
+    pub fn rounds_total(&self) -> u64 {
+        match self {
+            KernelQueue::Single(_) => 0,
+            KernelQueue::Sharded(q) => q.rounds_total(),
+        }
+    }
+}

@@ -64,6 +64,8 @@ mod cpu;
 mod exec;
 mod io_path;
 mod iorequest;
+mod kqueue;
+mod parallel;
 mod recover;
 mod source;
 mod transaction;
@@ -87,6 +89,7 @@ use crate::metrics::{KernelProfile, ShippingReport, SimulationReport};
 use crate::recovery::RecoveryRuntime;
 
 use arena::{IoArena, TemplateTable, TxArena};
+use kqueue::KernelQueue;
 
 /// Events of the simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -203,8 +206,9 @@ pub struct Simulation<W: WorkloadGenerator> {
     service_rng: SimRng,
     workload_rng: SimRng,
 
-    // Kernel state.
-    queue: EventQueue<Ev>,
+    // Kernel state.  Starts as the sequential calendar; replaced by the
+    // sharded coordinator when the run dispatches to the parallel kernel.
+    queue: KernelQueue,
     nodes: Vec<NodeRuntime>,
     units: Vec<UnitRuntime>,
     lockmgr: GlobalLockService,
@@ -351,7 +355,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             arrival_rng,
             service_rng,
             workload_rng,
-            queue: EventQueue::new(),
+            queue: KernelQueue::Single(EventQueue::new()),
             nodes,
             units,
             lockmgr,
@@ -455,7 +459,12 @@ impl<W: WorkloadGenerator> Simulation<W> {
 
     /// Runs the simulation to completion, also measuring the kernel's
     /// wall-clock event throughput (events popped, wall-clock ms,
-    /// events/sec).  The report is identical to [`Simulation::run`]'s.
+    /// events/sec).  The report is identical to [`Simulation::run`]'s —
+    /// including, bit for bit, across kernel thread counts: with
+    /// `config.parallelism.kernel_threads >= 2` (and more than one node) the
+    /// run uses the sharded parallel kernel, whose report is byte-identical
+    /// to the sequential kernel's for the same configuration and seed (see
+    /// the `parallel` submodule).
     pub fn run_profiled(mut self) -> (SimulationReport, KernelProfile) {
         let wall_start = Instant::now();
         self.active_tw.record(0.0, 0.0);
@@ -464,21 +473,50 @@ impl<W: WorkloadGenerator> Simulation<W> {
             node.active_tw.record(0.0, 0.0);
             node.inputq_tw.record(0.0, 0.0);
         }
+        let workers = self.config.kernel_workers();
+        if workers >= 2 {
+            self.run_events_sharded(workers);
+        } else {
+            self.seed_initial_events();
+            self.run_event_loop();
+        }
+        let events = self.queue.popped_total();
+        let rounds = self.queue.rounds_total();
+        let restart = if self.crashed {
+            Some(self.perform_restart())
+        } else {
+            None
+        };
+        let report = self.build_report(restart);
+        let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+        let profile = KernelProfile::new(events, wall_ms).with_sync_rounds(rounds);
+        (report, profile)
+    }
+
+    /// Schedules the run-control events that exist before the first pop:
+    /// the first arrival, the warm-up and run boundaries, and the optional
+    /// checkpoint/crash points.
+    pub(super) fn seed_initial_events(&mut self) {
         let first = self
             .arrival_rng
             .exponential(interarrival_ms(self.config.arrival_rate_tps));
-        self.queue
-            .schedule_at(first.min(self.end_time), Ev::Arrival);
-        self.queue.schedule_at(self.config.warmup_ms, Ev::EndWarmup);
-        self.queue.schedule_at(self.end_time, Ev::EndRun);
+        self.sched_at(first.min(self.end_time), Ev::Arrival);
+        self.sched_at(self.config.warmup_ms, Ev::EndWarmup);
+        self.sched_at(self.end_time, Ev::EndRun);
         let checkpoint_interval = self.config.recovery.checkpoint_interval_ms;
         if self.recovery.is_some() && checkpoint_interval > 0.0 {
-            self.queue.schedule_at(checkpoint_interval, Ev::Checkpoint);
+            self.sched_at(checkpoint_interval, Ev::Checkpoint);
         }
         if let Some(crash_at) = self.crash_at {
-            self.queue.schedule_at(crash_at, Ev::Crash);
+            self.sched_at(crash_at, Ev::Crash);
         }
+    }
 
+    /// The main event loop: pops events in global `(time, seq)` order and
+    /// dispatches their handlers, until the run boundary (or crash point)
+    /// is popped.  Shared verbatim by the sequential and sharded kernels —
+    /// handlers always execute serially on this thread.
+    pub(super) fn run_event_loop(&mut self) {
         while let Some(event) = self.queue.pop() {
             match event.payload {
                 Ev::EndRun => break,
@@ -499,14 +537,5 @@ impl<W: WorkloadGenerator> Simulation<W> {
             }
             self.process_ready();
         }
-        let events = self.queue.popped_total();
-        let restart = if self.crashed {
-            Some(self.perform_restart())
-        } else {
-            None
-        };
-        let report = self.build_report(restart);
-        let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
-        (report, KernelProfile::new(events, wall_ms))
     }
 }

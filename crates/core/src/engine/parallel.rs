@@ -1,0 +1,119 @@
+//! The sharded parallel kernel: event-to-shard routing and the scoped
+//! worker-thread run path.
+//!
+//! # Shard ownership
+//!
+//! The future event list is sharded **per simulated node**: shard `n` holds
+//! the pending events whose handler will run in the context of node `n`'s
+//! computing module.  Routing is *advice*, not semantics — the coordinator
+//! re-merges every shard into one global `(time, seq)` order before any
+//! handler runs, so a different routing changes which worker maintains an
+//! event's calendar entry but never the simulated outcome:
+//!
+//! * `CpuDone` / `MsgDone` / `RemoteDone` — the transaction's current
+//!   execution node (for shipped shared-nothing calls: the owner node the
+//!   call was shipped to),
+//! * `IoStage` — the storage unit's slot, folded over the shard count (the
+//!   storage complex is shared by all nodes; spreading by unit keeps the
+//!   per-shard calendars balanced on I/O-bound configurations),
+//! * control events (`Arrival`, `EndWarmup`, `EndRun`, `Checkpoint`,
+//!   `Crash`) and the global group-commit flush — shard 0, next to the
+//!   global lock service's home node.
+//!
+//! # Why handlers stay on the coordinator
+//!
+//! Handlers execute *serially*, in exactly the sequential kernel's global
+//! event order, on the coordinator thread; the workers parallelize the
+//! future-event-list maintenance (calendar inserts, bounded drains, horizon
+//! tracking) between handler executions.  This is a deliberate consequence
+//! of the byte-identity oracle: the engine draws service, arrival and
+//! workload randomness from three *shared* streams in global event order,
+//! and accumulates `f64` statistics in global completion order — executing
+//! handlers concurrently would have to re-partition those streams and
+//! re-associate those sums, changing every report bit.  The horizon protocol
+//! (see [`simkernel::shard`]) makes the merge safe for any lookahead, so
+//! determinism holds for every thread count.
+
+use dbmodel::WorkloadGenerator;
+use simkernel::time::safe_min;
+use simkernel::ShardedEventQueue;
+
+use super::kqueue::KernelQueue;
+use super::{Ev, Simulation};
+
+impl<W: WorkloadGenerator> Simulation<W> {
+    /// The shard (node) whose calendar holds `ev`; see the module docs for
+    /// the ownership rules.
+    #[inline]
+    pub(super) fn shard_of(&self, ev: &Ev) -> usize {
+        match *ev {
+            Ev::CpuDone(slot) | Ev::MsgDone(slot) | Ev::RemoteDone(slot) => self.exec_node_of(slot),
+            Ev::IoStage(io_id) => {
+                let unit = self.ios.get(io_id).map_or(0, |io| io.unit);
+                unit % self.nodes.len()
+            }
+            Ev::Arrival
+            | Ev::GroupCommitFlush(_)
+            | Ev::Checkpoint
+            | Ev::Crash
+            | Ev::EndWarmup
+            | Ev::EndRun => 0,
+        }
+    }
+
+    /// Schedules `ev` at absolute time `at` on its owning shard.
+    #[inline]
+    pub(super) fn sched_at(&mut self, at: simkernel::SimTime, ev: Ev) {
+        let shard = self.shard_of(&ev);
+        self.queue.schedule_at(shard, at, ev);
+    }
+
+    /// Schedules `ev` after `delay` ms on its owning shard.
+    #[inline]
+    pub(super) fn sched_in(&mut self, delay: simkernel::SimTime, ev: Ev) {
+        let shard = self.shard_of(&ev);
+        self.queue.schedule_in(shard, delay, ev);
+    }
+
+    /// The conservative lookahead (simulated ms) of this run's
+    /// synchronization rounds: the configured/derived window
+    /// ([`crate::config::SimulationConfig::lookahead_ms`]), tightened by the
+    /// global lock service's own message-endpoint contribution when it
+    /// models one.  Purely a wall-clock tuning knob — results are identical
+    /// for any value.
+    fn kernel_lookahead_ms(&self) -> simkernel::SimTime {
+        let configured = self.config.lookahead_ms();
+        match self.lockmgr.lookahead_contribution_ms() {
+            Some(lock_rt) if self.config.parallelism.lookahead_ms <= 0.0 => {
+                safe_min(configured, lock_rt.max(0.05))
+            }
+            _ => configured,
+        }
+    }
+
+    /// Runs the event loop on the sharded kernel: one shard calendar per
+    /// node, maintained by `workers` scoped threads, handlers executing
+    /// serially on this thread in the sequential kernel's exact global
+    /// order.
+    pub(super) fn run_events_sharded(&mut self, workers: usize) {
+        let shards = self.nodes.len();
+        debug_assert!(workers >= 2 && workers <= shards);
+        let lookahead = self.kernel_lookahead_ms();
+        let (coordinator, runners) = ShardedEventQueue::new(shards, workers, lookahead);
+        self.queue = KernelQueue::Sharded(coordinator);
+        let guard = match &self.queue {
+            KernelQueue::Sharded(q) => q.shutdown_guard(),
+            KernelQueue::Single(_) => unreachable!("queue was just replaced"),
+        };
+        std::thread::scope(|s| {
+            // The guard signals shutdown when this scope's closure exits —
+            // normally or by unwind — so the scope can always join.
+            let _guard = guard;
+            for runner in runners {
+                s.spawn(move || runner.run());
+            }
+            self.seed_initial_events();
+            self.run_event_loop();
+        });
+    }
+}

@@ -32,7 +32,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             .arrival_rng
             .exponential(interarrival_ms(self.config.arrival_rate_tps));
         if now + gap < self.end_time {
-            self.queue.schedule_in(gap, Ev::Arrival);
+            self.sched_in(gap, Ev::Arrival);
         }
         // Generate the transaction and assign it to a node.
         match self.workload.next_transaction(&mut self.workload_rng) {

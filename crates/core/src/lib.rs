@@ -47,7 +47,7 @@ pub mod tables;
 
 pub use config::{
     Architecture, CmParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams,
-    PartitioningParams, RecoveryParams, SimulationConfig,
+    ParallelismParams, PartitioningParams, RecoveryParams, SimulationConfig,
 };
 pub use engine::Simulation;
 pub use metrics::{

@@ -223,6 +223,9 @@ pub struct KernelProfile {
     pub wall_ms: f64,
     /// Events per wall-clock second.
     pub events_per_sec: f64,
+    /// Synchronization rounds of the sharded kernel (0 on the sequential
+    /// kernel).
+    pub sync_rounds: u64,
 }
 
 impl KernelProfile {
@@ -232,7 +235,14 @@ impl KernelProfile {
             events,
             wall_ms,
             events_per_sec: events as f64 / (wall_ms / 1e3).max(1e-9),
+            sync_rounds: 0,
         }
+    }
+
+    /// Attaches the sharded kernel's synchronization-round count.
+    pub fn with_sync_rounds(mut self, rounds: u64) -> Self {
+        self.sync_rounds = rounds;
+        self
     }
 }
 

@@ -35,7 +35,7 @@ use storage::{DeviceSpec, DiskUnitKind, DiskUnitParams, NvemParams};
 
 use crate::config::{
     Architecture, CmParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams,
-    PartitioningParams, RecoveryParams, SimulationConfig,
+    ParallelismParams, PartitioningParams, RecoveryParams, SimulationConfig,
 };
 
 /// Index of the database disk unit in every preset that uses disks.
@@ -195,6 +195,7 @@ pub fn debit_credit_config(storage: DebitCreditStorage, arrival_rate_tps: f64) -
         recovery: RecoveryParams::disabled(),
         buffer,
         cc_modes: debit_credit_cc_modes(),
+        parallelism: ParallelismParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,
@@ -551,6 +552,7 @@ pub fn trace_config(
         recovery: RecoveryParams::disabled(),
         buffer,
         cc_modes,
+        parallelism: ParallelismParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,
@@ -636,6 +638,7 @@ pub fn contention_config(
         recovery: RecoveryParams::disabled(),
         buffer,
         cc_modes: vec![granularity; 2],
+        parallelism: ParallelismParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,

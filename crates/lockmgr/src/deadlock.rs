@@ -146,11 +146,46 @@ impl WaitsForGraph {
     }
 
     /// Checks whether adding the edges `waiter → blockers` would close a
-    /// cycle containing `waiter`.  The edges are *not* added.
+    /// cycle containing `waiter`.  The edges are *not* added.  `blockers`
+    /// must be sorted and deduplicated (as
+    /// [`wait_for_set`](crate::table::LockTable::wait_for_set) returns it).
+    ///
+    /// A cycle exists iff some blocker *reaches* the waiter — equivalently,
+    /// iff a blocker is among the waiter's *ancestors* in the waits-for
+    /// graph.  The check therefore walks backwards from the waiter over the
+    /// reverse index and binary-searches each discovered ancestor against
+    /// the blocker list.  This bounds the work by the waiter's transitive
+    /// waiter set — for a freshly denied request a handful of transactions —
+    /// and never hashes the blocker list at all, where the forward scan this
+    /// replaces traversed the blockers' *descendant* set: under a lock
+    /// convoy essentially the whole blocked population, which made every
+    /// denied request on a saturated multi-node run O(blocked transactions).
     pub fn would_deadlock(&mut self, waiter: TxId, blockers: &[TxId]) -> bool {
-        blockers
-            .iter()
-            .any(|b| *b == waiter || self.reaches(*b, waiter))
+        debug_assert!(
+            blockers.windows(2).all(|w| w[0] < w[1]),
+            "blockers must be sorted and deduplicated"
+        );
+        let is_blocker = |t: &TxId| blockers.binary_search(t).is_ok();
+        if is_blocker(&waiter) {
+            return true;
+        }
+        self.visited.clear();
+        self.stack.clear();
+        self.visited.insert(waiter);
+        self.stack.push(waiter);
+        while let Some(t) = self.stack.pop() {
+            if let Some(prev) = self.reverse.get(&t) {
+                for p in prev {
+                    if is_blocker(p) {
+                        return true;
+                    }
+                    if self.visited.insert(*p) {
+                        self.stack.push(*p);
+                    }
+                }
+            }
+        }
+        false
     }
 }
 

@@ -22,6 +22,7 @@ pub mod dist;
 pub mod events;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
@@ -29,5 +30,6 @@ pub use dist::{Draw, Exponential, UniformRange};
 pub use events::{EventQueue, ScheduledEvent};
 pub use resource::{Resource, ResourceStats};
 pub use rng::SimRng;
+pub use shard::{ShardWorker, ShardedEventQueue, ShutdownGuard};
 pub use stats::{Counter, Histogram, Tally, TimeWeighted};
 pub use time::SimTime;

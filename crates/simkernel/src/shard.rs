@@ -1,0 +1,690 @@
+//! Sharded future event list with conservative-lookahead synchronization.
+//!
+//! The sequential [`EventQueue`] is one calendar holding
+//! every pending event.  This module splits the pending set over `S` *shards*
+//! — the TPSIM engine uses one shard per simulated node — and keeps the shard
+//! calendars on `W` worker threads, while a single *coordinator* (the
+//! simulation loop's thread) retains the global `(time, seq)` order, the
+//! global clock and the global sequence counter.
+//!
+//! # Round protocol
+//!
+//! Work proceeds in *rounds*.  At the start of a round the coordinator
+//! computes a conservative horizon
+//!
+//! ```text
+//! H = min(shard head times, staged insert times) + lookahead
+//! ```
+//!
+//! using the NaN-hardened helpers in [`crate::time`] (a poisoned horizon
+//! widens to `+inf` instead of stalling a shard).  Each worker then — in
+//! parallel — applies the inserts staged for its shards and drains every
+//! event with `time <= H` from its shard calendars into a batch that is
+//! sorted by `(time, seq)`.  The coordinator merges the `W` sorted batches
+//! on the fly as the simulation pops.
+//!
+//! Events scheduled *during* a round (by handlers of popped events) are
+//! routed by the coordinator itself: an event at or before the round horizon
+//! goes to a coordinator-local **spill heap** that participates in the merge
+//! (it cannot wait for the next round — it may precede events already popped
+//! into batches); an event past the horizon is **staged** for its shard and
+//! handed to the owning worker at the next round boundary.
+//!
+//! # Why any horizon is safe
+//!
+//! Correctness does not depend on the lookahead value:
+//!
+//! * per-shard batches preserve the shard's pop order, and the coordinator's
+//!   merge restores the global `(time, seq)` order across batches;
+//! * every event *not* in a batch (staged, or still in a shard calendar) has
+//!   `time > H`, while every batch or spill event has `time <= H`, so the
+//!   merge never returns an event while a smaller-keyed one is hidden;
+//! * spilled events carry sequence numbers larger than every batched event
+//!   (they were scheduled later), so even exact time ties merge in the
+//!   global insertion order.
+//!
+//! The lookahead therefore only tunes batch size (synchronization frequency)
+//! — which is why a parallel run is bit-for-bit identical to the sequential
+//! engine for *every* thread count and lookahead.  Liveness holds because the
+//! horizon is at least `lookahead` past the globally earliest pending event,
+//! so every round drains at least that event.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::events::{EventQueue, ScheduledEvent};
+use crate::time::{at_or_before, horizon, safe_min_all, SimTime};
+
+/// Full event key: global order is ascending `(time, seq)` with times
+/// compared by [`f64::total_cmp`].
+type Key = (SimTime, u64);
+
+#[inline]
+fn key_lt(a: Key, b: Key) -> bool {
+    a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)).is_lt()
+}
+
+/// An insert staged for a worker: `(local shard index, time, seq, payload)`.
+struct StagedInsert<P> {
+    local_shard: u32,
+    time: SimTime,
+    seq: u64,
+    payload: P,
+}
+
+/// Coordinator-side spill entry, ordered as a min-heap on `(time, seq)`.
+struct SpillEntry<P> {
+    time: SimTime,
+    seq: u64,
+    payload: P,
+}
+
+impl<P> PartialEq for SpillEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.to_bits() == other.time.to_bits() && self.seq == other.seq
+    }
+}
+impl<P> Eq for SpillEntry<P> {}
+impl<P> PartialOrd for SpillEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for SpillEntry<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `BinaryHeap` is a max-heap; invert so the smallest key wins.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Shared mailbox between the coordinator and one worker.
+struct WorkerShared<P> {
+    cell: Mutex<WorkerCell<P>>,
+    cv: Condvar,
+}
+
+struct WorkerCell<P> {
+    /// Set by the coordinator to start a round; cleared by the worker when
+    /// its batch is ready.
+    working: bool,
+    /// Terminates the worker loop; never cleared once set.
+    shutdown: bool,
+    /// Round horizon (inclusive) the worker drains up to.
+    horizon: SimTime,
+    /// Inserts staged since the last round, owned by this worker's shards.
+    inbox: Vec<StagedInsert<P>>,
+    /// The drained batch, sorted ascending by `(time, seq)`.
+    outbox: Vec<ScheduledEvent<P>>,
+    /// Key of the earliest event remaining in this worker's shards.
+    head: Option<Key>,
+}
+
+impl<P> WorkerShared<P> {
+    fn new() -> Self {
+        Self {
+            cell: Mutex::new(WorkerCell {
+                working: false,
+                shutdown: false,
+                horizon: f64::NEG_INFINITY,
+                inbox: Vec::new(),
+                outbox: Vec::new(),
+                head: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The worker half of a sharded queue: owns the shard calendars assigned to
+/// it and serves rounds until shut down.  Spawn [`ShardWorker::run`] on a
+/// thread (the engine uses `std::thread::scope`).
+pub struct ShardWorker<P> {
+    shared: Arc<WorkerShared<P>>,
+    shards: Vec<EventQueue<P>>,
+}
+
+impl<P: Send> ShardWorker<P> {
+    /// Serves rounds until the coordinator (or its shutdown guard) signals
+    /// shutdown.
+    pub fn run(mut self) {
+        loop {
+            let (inbox, limit) = {
+                let mut cell = self.shared.cell.lock().expect("worker mailbox");
+                loop {
+                    if cell.shutdown {
+                        return;
+                    }
+                    if cell.working {
+                        break;
+                    }
+                    cell = self.shared.cv.wait(cell).expect("worker mailbox");
+                }
+                (std::mem::take(&mut cell.inbox), cell.horizon)
+            };
+            // The expensive part runs unlocked: the shard calendars live on
+            // this thread, not in the mailbox.
+            for ins in inbox {
+                self.shards[ins.local_shard as usize].schedule_preassigned(
+                    ins.time,
+                    ins.seq,
+                    ins.payload,
+                );
+            }
+            let (outbox, head) = self.drain_up_to(limit);
+            let mut cell = self.shared.cell.lock().expect("worker mailbox");
+            cell.outbox = outbox;
+            cell.head = head;
+            cell.working = false;
+            self.shared.cv.notify_all();
+        }
+    }
+
+    /// Merges this worker's shards up to `limit` (inclusive) into one batch
+    /// sorted by `(time, seq)`, and reports the earliest remaining key.
+    fn drain_up_to(&mut self, limit: SimTime) -> (Vec<ScheduledEvent<P>>, Option<Key>) {
+        let mut out = Vec::new();
+        loop {
+            let mut best: Option<(usize, Key)> = None;
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                if let Some(key) = shard.peek_next() {
+                    if best.is_none_or(|(_, b)| key_lt(key, b)) {
+                        best = Some((i, key));
+                    }
+                }
+            }
+            match best {
+                Some((i, key)) if at_or_before(key.0, limit) => {
+                    out.push(self.shards[i].pop().expect("peeked event"));
+                }
+                other => return (out, other.map(|(_, key)| key)),
+            }
+        }
+    }
+}
+
+/// Signals worker shutdown when dropped.  The engine holds one inside its
+/// `thread::scope` so the workers exit — and the scope can join — even if
+/// the simulation loop unwinds.
+pub struct ShutdownGuard<P> {
+    workers: Vec<Arc<WorkerShared<P>>>,
+}
+
+impl<P> Drop for ShutdownGuard<P> {
+    fn drop(&mut self) {
+        for shared in &self.workers {
+            let mut cell = shared.cell.lock().expect("worker mailbox");
+            cell.shutdown = true;
+            shared.cv.notify_all();
+        }
+    }
+}
+
+/// The coordinator half of a sharded future event list.
+///
+/// Presents the same clock / schedule / pop surface as the sequential
+/// [`EventQueue`] — with an explicit shard id per schedule
+/// — and produces the exact same pop sequence for the same inputs, for every
+/// worker count and lookahead (see the module docs for the argument).
+pub struct ShardedEventQueue<P> {
+    workers: Vec<Arc<WorkerShared<P>>>,
+    num_shards: usize,
+    lookahead: SimTime,
+
+    now: SimTime,
+    next_seq: u64,
+    /// Total pending events anywhere: staged + shard calendars + batches +
+    /// spill.
+    len: usize,
+    scheduled_total: u64,
+    popped_total: u64,
+
+    /// Per-worker staged inserts since the last round boundary.
+    staging: Vec<Vec<StagedInsert<P>>>,
+    /// Earliest staged time (`+inf` when nothing is staged).
+    staged_min: SimTime,
+    /// Per-worker event counts inside their shard calendars, so idle workers
+    /// are skipped without touching their mailbox.
+    worker_pending: Vec<usize>,
+    /// Per-worker earliest remaining key, as reported at the last round.
+    heads: Vec<Option<Key>>,
+
+    /// The current round's batches, drained from the front.
+    batches: Vec<VecDeque<ScheduledEvent<P>>>,
+    /// Events scheduled during the round at or before its horizon.
+    spill: BinaryHeap<SpillEntry<P>>,
+    /// Horizon of the round currently being drained.
+    round_horizon: SimTime,
+    /// True from the first round until the queue drains empty.
+    in_round: bool,
+    /// Scratch: which workers participate in the current round.
+    round_mask: Vec<bool>,
+
+    /// Diagnostics: synchronization rounds run.
+    rounds_total: u64,
+}
+
+impl<P: Send> ShardedEventQueue<P> {
+    /// Creates a sharded queue with `num_shards` shard calendars distributed
+    /// round-robin over `num_workers` workers, and a conservative `lookahead`
+    /// (milliseconds of simulated time added to the earliest pending event to
+    /// form each round's horizon).
+    ///
+    /// Returns the coordinator and the worker halves; spawn each
+    /// [`ShardWorker::run`] on its own thread before the first pop.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`, `num_workers == 0`, `num_workers >
+    /// num_shards`, or `lookahead` is negative or NaN.
+    pub fn new(
+        num_shards: usize,
+        num_workers: usize,
+        lookahead: SimTime,
+    ) -> (Self, Vec<ShardWorker<P>>) {
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(
+            num_workers > 0 && num_workers <= num_shards,
+            "worker count must be in 1..=num_shards (got {num_workers} for {num_shards} shards)"
+        );
+        assert!(
+            lookahead >= 0.0 && !lookahead.is_nan(),
+            "lookahead must be non-negative (got {lookahead})"
+        );
+        let shared: Vec<Arc<WorkerShared<P>>> = (0..num_workers)
+            .map(|_| Arc::new(WorkerShared::new()))
+            .collect();
+        let runners = shared
+            .iter()
+            .enumerate()
+            .map(|(w, s)| ShardWorker {
+                shared: Arc::clone(s),
+                // Worker `w` owns shards `w, w + W, w + 2W, ...`; shard `s`
+                // maps to worker `s % W` at local index `s / W`.
+                shards: (w..num_shards)
+                    .step_by(num_workers)
+                    .map(|_| EventQueue::new())
+                    .collect(),
+            })
+            .collect();
+        let coordinator = Self {
+            workers: shared,
+            num_shards,
+            lookahead,
+            now: 0.0,
+            next_seq: 0,
+            len: 0,
+            scheduled_total: 0,
+            popped_total: 0,
+            staging: (0..num_workers).map(|_| Vec::new()).collect(),
+            staged_min: f64::INFINITY,
+            worker_pending: vec![0; num_workers],
+            heads: vec![None; num_workers],
+            batches: (0..num_workers).map(|_| VecDeque::new()).collect(),
+            spill: BinaryHeap::new(),
+            round_horizon: f64::NEG_INFINITY,
+            in_round: false,
+            round_mask: vec![false; num_workers],
+            rounds_total: 0,
+        };
+        (coordinator, runners)
+    }
+
+    /// A guard whose drop signals every worker to exit.
+    pub fn shutdown_guard(&self) -> ShutdownGuard<P> {
+        ShutdownGuard {
+            workers: self.workers.iter().map(Arc::clone).collect(),
+        }
+    }
+
+    /// Current simulated time (the time of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events across all shards, batches and staging.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are pending anywhere.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled.
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total number of events ever popped.
+    #[inline]
+    pub fn popped_total(&self) -> u64 {
+        self.popped_total
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Synchronization rounds run so far (diagnostic).
+    #[inline]
+    pub fn rounds_total(&self) -> u64 {
+        self.rounds_total
+    }
+
+    /// Schedules `payload` on `shard` at absolute time `at`, with the exact
+    /// clamp semantics of [`EventQueue::schedule_at`] against the *global*
+    /// clock (shard-local clocks trail it).
+    pub fn schedule_at(&mut self, shard: usize, at: SimTime, payload: P) {
+        debug_assert!(at.is_finite(), "non-finite event time {at}");
+        debug_assert!(
+            at + 1e-9 >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        debug_assert!(shard < self.num_shards, "shard {shard} out of range");
+        // `<=` (not `<`) also normalizes a stray `-0.0` to the clock's
+        // `+0.0`, exactly like the sequential queue.
+        let at = if at <= self.now { self.now } else { at };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.len += 1;
+        if self.in_round && at_or_before(at, self.round_horizon) {
+            // May precede events already drained into this round's batches:
+            // merge it on the fly instead of waiting for the next round.
+            self.spill.push(SpillEntry {
+                time: at,
+                seq,
+                payload,
+            });
+        } else {
+            let num_workers = self.workers.len();
+            self.staging[shard % num_workers].push(StagedInsert {
+                local_shard: (shard / num_workers) as u32,
+                time: at,
+                seq,
+                payload,
+            });
+            self.staged_min = crate::time::safe_min(self.staged_min, at);
+        }
+    }
+
+    /// Schedules `payload` on `shard` after `delay` milliseconds, relative to
+    /// the global clock (matching [`EventQueue::schedule_in`]).
+    #[inline]
+    pub fn schedule_in(&mut self, shard: usize, delay: SimTime, payload: P) {
+        debug_assert!(delay >= 0.0, "negative delay {delay}");
+        let now = self.now;
+        self.schedule_at(shard, now + delay.max(0.0), payload);
+    }
+
+    /// Pops the globally next event — ascending `(time, seq)` over *all*
+    /// shards — and advances the global clock, running synchronization
+    /// rounds as needed.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<P>> {
+        loop {
+            // Earliest batch head across workers.
+            let mut best: Option<(usize, Key)> = None;
+            for (w, batch) in self.batches.iter().enumerate() {
+                if let Some(front) = batch.front() {
+                    let key = (front.time, front.seq);
+                    if best.is_none_or(|(_, b)| key_lt(key, b)) {
+                        best = Some((w, key));
+                    }
+                }
+            }
+            // Every spill entry lies at or before the round horizon, so the
+            // spill head always competes with the batch heads.
+            if let Some(spill_head) = self.spill.peek() {
+                let key = (spill_head.time, spill_head.seq);
+                if best.is_none_or(|(_, b)| key_lt(key, b)) {
+                    let e = self.spill.pop().expect("peeked spill entry");
+                    return Some(self.emit(e.time, e.seq, e.payload));
+                }
+            }
+            if let Some((w, _)) = best {
+                let e = self.batches[w].pop_front().expect("peeked batch front");
+                return Some(self.emit(e.time, e.seq, e.payload));
+            }
+            debug_assert!(self.spill.is_empty(), "spill drains within its round");
+            if self.len == 0 {
+                self.in_round = false;
+                self.round_horizon = f64::NEG_INFINITY;
+                return None;
+            }
+            self.run_round();
+        }
+    }
+
+    /// Advances the clock and counters for one popped event.
+    #[inline]
+    fn emit(&mut self, time: SimTime, seq: u64, payload: P) -> ScheduledEvent<P> {
+        self.len -= 1;
+        self.popped_total += 1;
+        debug_assert!(time + 1e-9 >= self.now, "time went backwards");
+        self.now = time.max(self.now);
+        ScheduledEvent {
+            time: self.now,
+            seq,
+            payload,
+        }
+    }
+
+    /// One synchronization round: computes the horizon, hands the staged
+    /// inserts to the workers, and collects the drained batches and new shard
+    /// heads.  Workers with no pending events and no staged inserts are
+    /// skipped entirely.
+    fn run_round(&mut self) {
+        debug_assert!(self.len > 0);
+        let base = safe_min_all(
+            self.heads
+                .iter()
+                .filter_map(|h| h.map(|(t, _)| t))
+                .chain(std::iter::once(self.staged_min)),
+        )
+        .expect("pending events imply a finite horizon base");
+        let h = horizon(base, self.lookahead);
+        self.rounds_total += 1;
+
+        // Kick every participating worker, then collect — the waits overlap.
+        for (w, shared) in self.workers.iter().enumerate() {
+            if self.worker_pending[w] == 0 && self.staging[w].is_empty() {
+                self.round_mask[w] = false;
+                continue;
+            }
+            self.round_mask[w] = true;
+            self.worker_pending[w] += self.staging[w].len();
+            let mut cell = shared.cell.lock().expect("worker mailbox");
+            debug_assert!(!cell.working, "round overlap");
+            cell.inbox = std::mem::take(&mut self.staging[w]);
+            cell.horizon = h;
+            cell.working = true;
+            shared.cv.notify_all();
+        }
+        self.staged_min = f64::INFINITY;
+        for (w, shared) in self.workers.iter().enumerate() {
+            if !self.round_mask[w] {
+                continue;
+            }
+            let mut cell = shared.cell.lock().expect("worker mailbox");
+            while cell.working {
+                cell = shared.cv.wait(cell).expect("worker mailbox");
+            }
+            debug_assert!(self.batches[w].is_empty());
+            self.batches[w] = VecDeque::from(std::mem::take(&mut cell.outbox));
+            self.heads[w] = cell.head;
+            self.worker_pending[w] -= self.batches[w].len();
+        }
+        self.round_horizon = h;
+        self.in_round = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs the coordinator with its workers on scoped threads.
+    fn with_queue<R: Send>(
+        num_shards: usize,
+        num_workers: usize,
+        lookahead: SimTime,
+        f: impl FnOnce(&mut ShardedEventQueue<u64>) -> R + Send,
+    ) -> R {
+        let (mut q, runners) = ShardedEventQueue::new(num_shards, num_workers, lookahead);
+        std::thread::scope(|s| {
+            for r in runners {
+                s.spawn(move || r.run());
+            }
+            let _guard = q.shutdown_guard();
+            f(&mut q)
+        })
+    }
+
+    #[test]
+    fn pops_in_global_time_order_across_shards() {
+        with_queue(4, 2, 1.0, |q| {
+            q.schedule_at(3, 5.0, 0);
+            q.schedule_at(0, 1.0, 1);
+            q.schedule_at(2, 3.0, 2);
+            q.schedule_at(1, 2.0, 3);
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+            assert_eq!(order, vec![1, 3, 2, 0]);
+            assert_eq!(q.popped_total(), 4);
+            assert!(q.is_empty());
+        });
+    }
+
+    #[test]
+    fn ties_across_shards_resolve_in_schedule_order() {
+        with_queue(8, 4, 0.5, |q| {
+            for i in 0..32 {
+                q.schedule_at(i % 8, 2.0, i as u64);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+            assert_eq!(order, (0..32).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn handler_scheduled_events_inside_the_horizon_still_merge() {
+        // A very large lookahead forces everything scheduled mid-drain into
+        // the spill path; order must survive.
+        with_queue(2, 2, 1e9, |q| {
+            q.schedule_at(0, 1.0, 1);
+            q.schedule_at(1, 10.0, 2);
+            let first = q.pop().unwrap();
+            assert_eq!(first.payload, 1);
+            // Scheduled during the round, before the other batch event.
+            q.schedule_at(1, 2.0, 3);
+            q.schedule_at(0, 1.5, 4);
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+            assert_eq!(order, vec![4, 3, 2]);
+        });
+    }
+
+    #[test]
+    fn clock_and_clamp_match_sequential_semantics() {
+        with_queue(2, 1, 1.0, |q| {
+            q.schedule_in(0, 4.0, 0);
+            q.schedule_in(1, 2.0, 1);
+            assert_eq!(q.now(), 0.0);
+            assert_eq!(q.pop().unwrap().payload, 1);
+            assert!((q.now() - 2.0).abs() < 1e-12);
+            // schedule_in is relative to the *global* clock.
+            q.schedule_in(0, 0.0, 2);
+            let e = q.pop().unwrap();
+            assert_eq!(e.payload, 2);
+            assert!((e.time - 2.0).abs() < 1e-12);
+            assert_eq!(q.pop().unwrap().payload, 0);
+            assert!(q.pop().is_none());
+        });
+    }
+
+    #[test]
+    fn zero_lookahead_still_makes_progress() {
+        with_queue(3, 3, 0.0, |q| {
+            let mut t = 0.0;
+            for i in 0..100u64 {
+                t += 0.37;
+                q.schedule_at((i % 3) as usize, t, i);
+            }
+            let mut popped = 0u64;
+            while let Some(e) = q.pop() {
+                assert_eq!(e.payload, popped);
+                popped += 1;
+            }
+            assert_eq!(popped, 100);
+        });
+    }
+
+    #[test]
+    fn refills_after_draining_empty() {
+        with_queue(2, 2, 1.0, |q| {
+            q.schedule_at(0, 1.0, 1);
+            assert_eq!(q.pop().unwrap().payload, 1);
+            assert!(q.pop().is_none());
+            q.schedule_at(1, 2.0, 2);
+            q.schedule_at(0, 1.5, 3);
+            assert_eq!(q.pop().unwrap().payload, 3);
+            assert_eq!(q.pop().unwrap().payload, 2);
+            assert!(q.pop().is_none());
+        });
+    }
+
+    #[test]
+    fn hold_model_matches_sequential_queue_bit_for_bit() {
+        // The engine's steady-state pattern: pop one, schedule a successor a
+        // short (sometimes zero) step ahead.  The sharded queue must produce
+        // the sequential queue's exact (time, seq, payload) stream.
+        for &(shards, workers, lookahead) in &[
+            (1usize, 1usize, 0.5),
+            (4, 2, 0.5),
+            (8, 4, 0.0),
+            (8, 8, 50.0),
+        ] {
+            let mut seq_q: EventQueue<u64> = EventQueue::new();
+            let mut rng_seq = crate::SimRng::seed_from(0xBEEF);
+            let mut rng_par = crate::SimRng::seed_from(0xBEEF);
+            with_queue(shards, workers, lookahead, |par_q| {
+                for i in 0..64u64 {
+                    let t = (i as f64) * 0.21;
+                    seq_q.schedule_at(t, i);
+                    par_q.schedule_at((i % shards as u64) as usize, t, i);
+                }
+                for i in 0..20_000u64 {
+                    let a = seq_q.pop().expect("sequential event");
+                    let b = par_q.pop().expect("parallel event");
+                    assert_eq!(
+                        (a.time.to_bits(), a.seq, a.payload),
+                        (b.time.to_bits(), b.seq, b.payload),
+                        "diverged at pop {i} (shards={shards} workers={workers} \
+                         lookahead={lookahead})"
+                    );
+                    let d1 = rng_seq.exponential(1.3);
+                    let d2 = rng_par.exponential(1.3);
+                    assert_eq!(d1.to_bits(), d2.to_bits());
+                    let delay = if a.payload.is_multiple_of(7) { 0.0 } else { d1 };
+                    let next = 64 + i;
+                    seq_q.schedule_in(delay, next);
+                    par_q.schedule_in((next % shards as u64) as usize, delay, next);
+                }
+            });
+        }
+    }
+}
