@@ -189,13 +189,13 @@ fn run_profile_mode(
     );
     let fresh = kernel_profile_suite(PROFILE_REPS, kernel_threads);
     println!(
-        "{:<26} {:>12} {:>12} {:>16}",
-        "point", "events", "wall [ms]", "events/sec"
+        "{:<26} {:>12} {:>12} {:>16} {:>18}",
+        "point", "events", "wall [ms]", "events/sec", "fanout [us/commit]"
     );
     for p in &fresh {
         println!(
-            "{:<26} {:>12} {:>12.1} {:>16.0}",
-            p.id, p.events, p.wall_ms, p.events_per_sec
+            "{:<26} {:>12} {:>12.1} {:>16.0} {:>18.3}",
+            p.id, p.events, p.wall_ms, p.events_per_sec, p.fanout_us_per_commit
         );
     }
     if let Some(out) = profile_out {

@@ -8,6 +8,7 @@ use tpsim::presets::{
     ContentionAllocation, DebitCreditStorage, LogVariant, SecondLevel, TraceStorage, DB_UNIT,
 };
 use tpsim::tables;
+use tpsim::CoherenceParams;
 
 use crate::runner::{
     self, caching_point, fig4_1_point, fig4_2_point, fig4_3_point, fig4_8_point, trace_point,
@@ -91,6 +92,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "fig7.x",
             title: "Fig. 7.x: data sharing vs shared nothing (beyond the paper)",
         },
+        Experiment {
+            id: "fig8.x",
+            title: "Fig. 8.x: coherence protocol and page-transfer policy (beyond the paper)",
+        },
     ]
 }
 
@@ -115,6 +120,7 @@ pub fn run_experiment(id: &str, settings: &RunSettings) -> ExperimentResult {
         "fig5.x" => fig5_x(settings),
         "fig6.x" => fig6_x(settings),
         "fig7.x" => fig7_x(settings),
+        "fig8.x" => fig8_x(settings),
         _ => unreachable!(),
     };
     ExperimentResult { experiment, table }
@@ -880,6 +886,104 @@ fn fig7_x(settings: &RunSettings) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fig. 8.x — coherence protocol and page-transfer policy (beyond the paper)
+// ---------------------------------------------------------------------------
+
+fn fig8_x(settings: &RunSettings) -> String {
+    // The fig5.x data-sharing workload (same per-node offered rate) under
+    // every coherence protocol × page-transfer combination.  Broadcast
+    // invalidation drops stale copies eagerly at commit; on-request
+    // validation leaves them in place and pays a validation round trip at
+    // the next reference.  Direct transfer satisfies a miss on a
+    // remotely-buffered page from the holder's memory instead of the shared
+    // disk.
+    let per_node_rate = 60.0;
+    let node_counts = [2usize, 4, 8];
+    let combos = [
+        ("broadcast / disk re-read", CoherenceParams::broadcast()),
+        (
+            "broadcast / direct transfer",
+            CoherenceParams::broadcast().with_direct_transfer(),
+        ),
+        (
+            "on-request / disk re-read",
+            CoherenceParams::on_request_validate(),
+        ),
+        (
+            "on-request / direct transfer",
+            CoherenceParams::on_request_validate().with_direct_transfer(),
+        ),
+    ];
+    let mut points = Vec::new();
+    for (label, coherence) in combos {
+        for &n in &node_counts {
+            points.push((
+                label.to_string(),
+                n as f64,
+                runner::coherence_point(n, per_node_rate, coherence),
+                Family::DebitCredit,
+            ));
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<30} {:>6} {:>11} {:>10} {:>8} {:>13} {:>12} {:>10} {:>10}",
+        "protocol / page transfer",
+        "nodes",
+        "thru [TPS]",
+        "resp [ms]",
+        "cpu [%]",
+        "invalidations",
+        "stale valid.",
+        "transfers",
+        "fallbacks"
+    );
+    for p in &results {
+        let r = &p.report;
+        // The default combination omits the coherence section (its reports
+        // stay byte-identical to pre-protocol-option ones); its lazy/transfer
+        // counters are all zero by construction.
+        let (stale, transfers, fallbacks) = match &r.coherence {
+            Some(c) => (
+                c.stale_validations,
+                c.direct_transfers,
+                c.transfer_fallback_reads,
+            ),
+            None => (0, 0, 0),
+        };
+        let _ = writeln!(
+            out,
+            "{:<30} {:>6} {:>11.1} {:>10.2} {:>8.1} {:>13} {:>12} {:>10} {:>10}",
+            p.series,
+            p.x as usize,
+            r.throughput_tps,
+            r.response_time.mean,
+            r.cpu_utilization * 100.0,
+            r.invalidations(),
+            stale,
+            transfers,
+            fallbacks
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "(invalidations = stale copies dropped, eagerly at commit under broadcast,"
+    );
+    let _ = writeln!(
+        out,
+        " lazily at the validating reference under on-request; transfers/fallbacks ="
+    );
+    let _ = writeln!(
+        out,
+        " misses served from a donor node's memory vs re-read from the shared disk)"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -889,11 +993,11 @@ mod tests {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for expected in [
             "table2.1", "table2.2", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "table4.2", "fig4.5",
-            "fig4.6", "fig4.7", "fig4.8", "fig5.x", "fig6.x", "fig7.x",
+            "fig4.6", "fig4.7", "fig4.8", "fig5.x", "fig6.x", "fig7.x", "fig8.x",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 15);
     }
 
     #[test]
@@ -909,6 +1013,23 @@ mod tests {
     #[should_panic]
     fn unknown_experiment_id_panics() {
         let _ = run_experiment("fig9.9", &RunSettings::quick());
+    }
+
+    #[test]
+    fn fig8_x_quick_run_produces_every_policy_combination() {
+        let result = run_experiment("fig8.x", &RunSettings::quick());
+        for series in [
+            "broadcast / disk re-read",
+            "broadcast / direct transfer",
+            "on-request / disk re-read",
+            "on-request / direct transfer",
+        ] {
+            assert!(
+                result.table.contains(series),
+                "missing series {series} in\n{}",
+                result.table
+            );
+        }
     }
 
     #[test]

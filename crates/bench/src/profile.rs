@@ -30,6 +30,9 @@ pub struct ProfilePoint {
     pub wall_ms: f64,
     /// Best observed events per wall-clock second.
     pub events_per_sec: f64,
+    /// Wall-clock microseconds per commit-time coherence fan-out (0 when the
+    /// run had no such fan-outs, e.g. single-node points).
+    pub fanout_us_per_commit: f64,
 }
 
 /// The fixed configurations of the profile suite, as `(id, config, family)`.
@@ -87,6 +90,7 @@ pub fn kernel_profile_suite(reps: usize, kernel_threads: usize) -> Vec<ProfilePo
                     events: p.events,
                     wall_ms: p.wall_ms,
                     events_per_sec: p.events_per_sec,
+                    fanout_us_per_commit: p.fanout_us_per_commit(),
                 };
                 let better = best
                     .as_ref()
@@ -139,8 +143,8 @@ fn render_points(out: &mut String, points: &[ProfilePoint], indent: &str) {
         let _ = writeln!(
             out,
             "{indent}{{\"id\": \"{}\", \"events\": {}, \"wall_ms\": {:.3}, \
-             \"events_per_sec\": {:.0}}}{comma}",
-            p.id, p.events, p.wall_ms, p.events_per_sec
+             \"events_per_sec\": {:.0}, \"fanout_us_per_commit\": {:.3}}}{comma}",
+            p.id, p.events, p.wall_ms, p.events_per_sec, p.fanout_us_per_commit
         );
     }
 }
@@ -373,12 +377,14 @@ mod tests {
                 events: 1_000_000,
                 wall_ms: 50.0,
                 events_per_sec: 20_000_000.0,
+                fanout_us_per_commit: 1.25,
             },
             ProfilePoint {
                 id: "quickstart/disk".to_string(),
                 events: 123_456,
                 wall_ms: 10.5,
                 events_per_sec: 11_757_714.0,
+                fanout_us_per_commit: 0.0,
             },
         ]
     }
@@ -392,6 +398,7 @@ mod tests {
                 events: 1_000_000,
                 wall_ms: 100.0,
                 events_per_sec: 10_000_000.0,
+                fanout_us_per_commit: 2.5,
             }],
         }];
         let scaling = ScalingInfo {
@@ -400,6 +407,9 @@ mod tests {
         };
         let json = render_bench_json(&sample_points(), &scaling, &history);
         assert!(json.contains("\"scaling\": {\"kernel_threads\": 2, \"host_parallelism\": 8}"));
+        // The fan-out column rides along in every point; the baseline parser
+        // must keep working with (and ignoring) it.
+        assert!(json.contains("\"fanout_us_per_commit\": 1.250"));
         let parsed = parse_baseline(&json).expect("parse own output");
         // Only the top-level points, not the history snapshot.
         assert_eq!(parsed.len(), 2);
@@ -432,6 +442,7 @@ mod tests {
                 events,
                 wall_ms: 100.0,
                 events_per_sec: events as f64 / 0.1,
+                fanout_us_per_commit: 0.5,
             })
             .collect();
         let par = seq

@@ -344,6 +344,19 @@ pub fn data_sharing_point(num_nodes: usize, per_node_rate: f64) -> SimulationCon
     presets::data_sharing_config(num_nodes, per_node_rate * num_nodes as f64)
 }
 
+/// Configuration of one coherence-policy point (`fig8.x`): the fig5.x
+/// data-sharing workload under an explicit coherence protocol / page-transfer
+/// combination.
+pub fn coherence_point(
+    num_nodes: usize,
+    per_node_rate: f64,
+    coherence: tpsim::CoherenceParams,
+) -> SimulationConfig {
+    let mut c = data_sharing_point(num_nodes, per_node_rate);
+    c.coherence = coherence;
+    c
+}
+
 /// Configuration of one shared-nothing scaling point
 /// (`fig7_architecture_compare` / `fig7.x`): the same workload as
 /// [`data_sharing_point`] on the partitioned (function-shipping)

@@ -6,7 +6,7 @@
 //! replicated (FORCE) NVEM caching, and commit-time forcing of modified pages.
 
 use dbmodel::PageId;
-use storage::LruCache;
+use storage::{LruCache, LruKTracker};
 
 use crate::config::{BufferConfig, PageLocation, UpdateStrategy};
 use crate::dirty::{DirtyPageTable, RecLsn};
@@ -34,12 +34,22 @@ struct NvemEntry {
 pub struct BufferManager {
     config: BufferConfig,
     mm: LruCache<PageId, FrameState>,
+    /// LRU-K access history for the main-memory buffer, active only when
+    /// `config.lru_k > 1`; with K = 1 victim selection uses the buffer's
+    /// intrinsic LRU chain, bit-for-bit as before.  Kept strictly in sync
+    /// with `mm`'s key set.
+    lru_k: Option<LruKTracker<PageId>>,
     nvem_cache: Option<LruCache<PageId, NvemEntry>>,
     write_buffer: Option<LruCache<PageId, u32>>,
     /// Committed-but-unpropagated updates for crash recovery; fed by the
     /// engine at commit, drained here whenever a page is propagated.
     dirty_table: DirtyPageTable,
     stats: BufferStats,
+    /// Invalidations that found no buffered copy to drop but did clear a
+    /// dirty-page-table entry (the page was evicted/written back while a
+    /// remote commit superseded its redo entry).  Kept outside
+    /// [`BufferStats`] so report renderings stay byte-identical.
+    dpt_only_clears: u64,
 }
 
 impl BufferManager {
@@ -58,13 +68,16 @@ impl BufferManager {
             && config.partitions.iter().any(|p| p.use_nvem_write_buffer))
         .then(|| LruCache::new(config.nvem_write_buffer_pages));
         let stats = BufferStats::new(config.partitions.len());
+        let lru_k = (config.lru_k > 1).then(|| LruKTracker::new(config.lru_k));
         Self {
             mm: LruCache::new(config.mm_buffer_pages),
+            lru_k,
             config,
             nvem_cache,
             write_buffer,
             dirty_table: DirtyPageTable::new(),
             stats,
+            dpt_only_clears: 0,
         }
     }
 
@@ -81,6 +94,13 @@ impl BufferManager {
     /// Resets the statistics (end of warm-up) without flushing the buffers.
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+        self.dpt_only_clears = 0;
+    }
+
+    /// Invalidations that cleared only a dirty-page-table entry (no buffered
+    /// copy was present any more); see [`BufferManager::invalidate_page`].
+    pub fn dpt_only_clears(&self) -> u64 {
+        self.dpt_only_clears
     }
 
     /// Number of pages in the main-memory buffer.
@@ -117,6 +137,34 @@ impl BufferManager {
     /// updates and their recovery LSNs (crash recovery).
     pub fn dirty_page_table(&self) -> &DirtyPageTable {
         &self.dirty_table
+    }
+
+    /// True if [`BufferManager::invalidate_page`] on `page` would do any
+    /// work at all: a main-memory copy, a second-level NVEM cache entry
+    /// (even one with an in-flight write, which invalidation spares but
+    /// still constitutes a held copy) or a dirty-page-table entry.  The
+    /// engine's page→holders index uses this as the ground truth when
+    /// asserting index-vs-broadcast equivalence: for any page, a node with
+    /// `!holds_page(page)` experiences `invalidate_page(page)` as a complete
+    /// no-op, so skipping it cannot change simulation state.
+    pub fn holds_page(&self, page: PageId) -> bool {
+        self.mm.contains(&page)
+            || self.nvem_contains(page)
+            || self.dirty_table.rec_lsn(page).is_some()
+    }
+
+    /// True if this pool holds a copy of `page` that may be shipped to
+    /// another node by a direct cache-to-cache transfer: a main-memory frame
+    /// or a second-level NVEM cache entry with no disk write-backs in
+    /// flight.  An NVEM entry *with* pending write-backs is excluded — such
+    /// an entry is spared by [`BufferManager::invalidate_page`] and may
+    /// therefore be stale, so it must never serve as a donor.
+    pub fn has_current_copy(&self, page: PageId) -> bool {
+        self.mm.contains(&page)
+            || self
+                .nvem_cache
+                .as_ref()
+                .is_some_and(|c| c.peek(&page).is_some_and(|e| e.pending == 0))
     }
 
     /// Records that a transaction committed an update to `page` of
@@ -159,6 +207,9 @@ impl BufferManager {
         // Main-memory hit.
         if let Some(frame) = self.mm.get_mut(&page) {
             frame.dirty |= is_write;
+            if let Some(tracker) = self.lru_k.as_mut() {
+                tracker.record_access(page);
+            }
             self.stats.per_partition[partition].mm_hits += 1;
             return FetchOutcome::hit();
         }
@@ -179,6 +230,9 @@ impl BufferManager {
                 dirty: is_write,
             },
         );
+        if let Some(tracker) = self.lru_k.as_mut() {
+            tracker.record_access(page);
+        }
         FetchOutcome {
             main_memory_hit: false,
             nvem_cache_hit,
@@ -186,10 +240,17 @@ impl BufferManager {
         }
     }
 
-    /// Evicts the LRU frame from main memory, appending any write-back /
-    /// migration operations to `ops`.
+    /// Evicts one frame from main memory — the LRU frame with K = 1, the
+    /// largest-backward-K-distance frame under LRU-K — appending any
+    /// write-back / migration operations to `ops`.
     fn evict_one(&mut self, ops: &mut Vec<PageOp>) {
-        let Some((vpage, vstate)) = self.mm.pop_lru() else {
+        let victim = match self.lru_k.as_mut() {
+            Some(tracker) => tracker
+                .evict()
+                .and_then(|page| self.mm.remove(&page).map(|state| (page, state))),
+            None => self.mm.pop_lru(),
+        };
+        let Some((vpage, vstate)) = victim else {
             return;
         };
         self.stats.mm_evictions += 1;
@@ -446,8 +507,13 @@ impl BufferManager {
     pub fn invalidate_page(&mut self, page: PageId) -> bool {
         // Whatever this node committed to the page is superseded: the
         // committing node now tracks the page in *its* dirty-page table.
-        self.dirty_table.clear_page(page);
+        let dpt_cleared = self.dirty_table.clear_page(page).is_some();
         let mut dropped = self.mm.remove(&page).is_some();
+        if dropped {
+            if let Some(tracker) = self.lru_k.as_mut() {
+                tracker.remove(&page);
+            }
+        }
         if let Some(cache) = self.nvem_cache.as_mut() {
             if cache.peek(&page).is_some_and(|e| e.pending == 0) {
                 cache.remove(&page);
@@ -456,6 +522,39 @@ impl BufferManager {
         }
         if dropped {
             self.stats.invalidations += 1;
+        } else if dpt_cleared {
+            // The stale copy was already evicted / written back, but the
+            // remote commit still superseded this node's redo entry.  Count
+            // it so the invalidation really is visible in reports.
+            self.dpt_only_clears += 1;
+        }
+        dropped
+    }
+
+    /// Drops any buffered copy of `page` *unconditionally* because a
+    /// reference-time version check found it stale (on-request validation).
+    /// Unlike commit-time [`BufferManager::invalidate_page`] this also
+    /// removes a second-level NVEM entry with write-backs still in flight:
+    /// the stale copy must not satisfy the re-read that follows, and the
+    /// in-flight writes' completions tolerate a missing entry
+    /// ([`BufferManager::async_write_complete`] simply finds nothing to
+    /// decrement).  The dirty-page-table entry is cleared like any other
+    /// superseded redo entry.  Returns true if a copy was dropped.
+    pub fn discard_stale_copy(&mut self, page: PageId) -> bool {
+        let dpt_cleared = self.dirty_table.clear_page(page).is_some();
+        let mut dropped = self.mm.remove(&page).is_some();
+        if dropped {
+            if let Some(tracker) = self.lru_k.as_mut() {
+                tracker.remove(&page);
+            }
+        }
+        if let Some(cache) = self.nvem_cache.as_mut() {
+            dropped |= cache.remove(&page).is_some();
+        }
+        if dropped {
+            self.stats.invalidations += 1;
+        } else if dpt_cleared {
+            self.dpt_only_clears += 1;
         }
         dropped
     }
@@ -927,6 +1026,150 @@ mod tests {
         bm.note_committed_update(0, PageId(1), 5);
         assert!(bm.invalidate_page(PageId(1)));
         assert!(bm.dirty_page_table().is_empty());
+    }
+
+    #[test]
+    fn dpt_only_clear_is_counted_for_evicted_then_remotely_committed_pages() {
+        // Regression for the invisible-invalidation bug: a node holding a
+        // dirty-page-table entry for a page it no longer buffers (here a
+        // memory-resident partition, which never occupies buffer frames) is
+        // remotely invalidated.  The DPT entry must be cleared — and, new in
+        // this PR, the clear must be counted instead of vanishing from every
+        // report because no buffered copy dropped.
+        let mut cfg = disk_config(1);
+        cfg.partitions[1] = PartitionPolicy::memory_resident();
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(1, PageId(500), true);
+        bm.note_committed_update(1, PageId(500), 7);
+        // MM-resident pages never occupy buffer frames: a remote commit finds
+        // no copy to drop but must still clear (and now count) the DPT entry.
+        assert!(!bm.invalidate_page(PageId(500)));
+        assert!(bm.dirty_page_table().is_empty());
+        assert_eq!(bm.stats().invalidations, 0);
+        assert_eq!(bm.dpt_only_clears(), 1);
+        // A pure no-op invalidation (no copy, no DPT entry) counts nothing.
+        assert!(!bm.invalidate_page(PageId(501)));
+        assert_eq!(bm.dpt_only_clears(), 1);
+        // Reset at end of warm-up clears the counter.
+        bm.reset_stats();
+        assert_eq!(bm.dpt_only_clears(), 0);
+    }
+
+    #[test]
+    fn holds_page_matches_invalidate_page_reach() {
+        // `holds_page` must be true exactly when `invalidate_page` would do
+        // any work: MM copy, NVEM-cache entry (pending or not), DPT entry.
+        let cfg = disk_config(1).with_nvem_cache(4, SecondLevelMode::All);
+        let mut bm = BufferManager::new(cfg);
+        assert!(!bm.holds_page(PageId(1)));
+        bm.reference_page(0, PageId(1), true);
+        assert!(bm.holds_page(PageId(1))); // MM copy
+        bm.reference_page(0, PageId(2), false); // evicts 1 dirty → NVEM, pending write
+        assert!(bm.holds_page(PageId(1))); // NVEM entry, even with pending > 0
+        bm.async_write_complete(PageId(1));
+        assert!(bm.holds_page(PageId(1))); // NVEM entry, clean
+        bm.invalidate_page(PageId(1));
+        assert!(!bm.holds_page(PageId(1)));
+        // DPT-only holding (memory-resident partition).
+        let mut cfg = disk_config(1);
+        cfg.partitions[1] = PartitionPolicy::memory_resident();
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(1, PageId(500), true);
+        bm.note_committed_update(1, PageId(500), 3);
+        assert!(bm.holds_page(PageId(500))); // DPT entry only
+        bm.invalidate_page(PageId(500));
+        assert!(!bm.holds_page(PageId(500)));
+    }
+
+    #[test]
+    fn spared_pending_nvem_entry_still_serves_hits_afterwards() {
+        // Pins the current (intended under BroadcastInvalidate) behavior for
+        // the stale-NVEM-hit window: an NVEM entry spared by invalidation
+        // because of an in-flight write remains referencable and serves a
+        // second-level hit on the next miss.  OnRequestValidate closes this
+        // window at the engine level with per-page version stamps.
+        let cfg = disk_config(1).with_nvem_cache(4, SecondLevelMode::All);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), true);
+        bm.reference_page(0, PageId(2), false); // evicts 1 dirty → NVEM, pending
+        assert!(!bm.invalidate_page(PageId(1))); // spared: pending > 0
+        let out = bm.reference_page(0, PageId(1), false); // evicts 2, refetches 1
+        assert!(out.nvem_cache_hit, "spared entry serves the stale hit");
+    }
+
+    #[test]
+    fn discard_stale_copy_removes_even_pending_nvem_entries() {
+        // Same setup as above, but the on-request-validation discard must
+        // remove the pending entry so the re-read cannot hit it, and the
+        // in-flight write's completion must tolerate the missing entry.
+        let cfg = disk_config(1).with_nvem_cache(4, SecondLevelMode::All);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), true);
+        bm.reference_page(0, PageId(2), false); // evicts 1 dirty → NVEM, pending
+        assert!(bm.nvem_contains(PageId(1)));
+        assert!(
+            !bm.has_current_copy(PageId(1)),
+            "a pending NVEM entry may be stale and must never donate"
+        );
+        assert!(bm.has_current_copy(PageId(2)));
+        assert!(bm.discard_stale_copy(PageId(1)));
+        assert!(!bm.nvem_contains(PageId(1)));
+        assert_eq!(bm.stats().invalidations, 1);
+        bm.async_write_complete(PageId(1)); // in-flight write completes: no-op
+        let out = bm.reference_page(0, PageId(1), false);
+        assert!(!out.nvem_cache_hit, "discarded entry no longer serves hits");
+        // Discard with no copy anywhere is a complete no-op.
+        assert!(!bm.discard_stale_copy(PageId(99)));
+        assert_eq!(bm.stats().invalidations, 1);
+        assert_eq!(bm.dpt_only_clears(), 0);
+    }
+
+    #[test]
+    fn lru_k2_evicts_single_touch_pages_before_the_hot_page() {
+        // mm holds 3 frames; page 1 is referenced twice (full K=2 history),
+        // then a scan of single-touch pages must evict among itself and leave
+        // the hot page resident (plain LRU would evict page 1 first).
+        let cfg = disk_config(3).with_lru_k(2);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), false);
+        bm.reference_page(0, PageId(1), false);
+        bm.reference_page(0, PageId(2), false);
+        bm.reference_page(0, PageId(3), false);
+        bm.reference_page(0, PageId(4), false); // evicts 2 (oldest single-touch)
+        assert!(bm.mm_contains(PageId(1)));
+        assert!(!bm.mm_contains(PageId(2)));
+        bm.reference_page(0, PageId(5), false); // evicts 3
+        assert!(bm.mm_contains(PageId(1)));
+        assert!(!bm.mm_contains(PageId(3)));
+        assert_eq!(bm.stats().mm_evictions, 2);
+    }
+
+    #[test]
+    fn lru_k1_config_keeps_the_plain_lru_chain() {
+        // K = 1 must not allocate a tracker and must evict in LRU order.
+        let cfg = disk_config(2).with_lru_k(1);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), false);
+        bm.reference_page(0, PageId(2), false);
+        bm.reference_page(0, PageId(1), false); // touch 1; 2 is now LRU
+        bm.reference_page(0, PageId(3), false); // evicts 2
+        assert!(bm.mm_contains(PageId(1)));
+        assert!(!bm.mm_contains(PageId(2)));
+    }
+
+    #[test]
+    fn lru_k_tracker_stays_in_sync_across_invalidations() {
+        let cfg = disk_config(2).with_lru_k(2);
+        let mut bm = BufferManager::new(cfg);
+        bm.reference_page(0, PageId(1), false);
+        bm.reference_page(0, PageId(2), false);
+        assert!(bm.invalidate_page(PageId(1)));
+        // The freed frame is reusable and the tracker no longer knows page 1:
+        // filling the buffer again must evict among resident pages only.
+        bm.reference_page(0, PageId(3), false);
+        bm.reference_page(0, PageId(4), false); // evicts 2 or 3, never panics
+        assert_eq!(bm.mm_pages(), 2);
+        assert!(!bm.mm_contains(PageId(1)));
     }
 
     #[test]

@@ -404,6 +404,107 @@ impl ParallelismParams {
     }
 }
 
+/// Cross-node buffer coherence protocol under data sharing (§7 of the
+/// paper: the cost of keeping node caches coherent is what separates the
+/// data-sharing design points).
+///
+/// * [`CoherenceProtocol::BroadcastInvalidate`] (the default, and the only
+///   protocol modelled before this parameter existed): a committing node
+///   synchronously drops the stale copies of its written pages from the
+///   other nodes' buffer pools at commit.  Remote pools never hold stale
+///   data, but every commit pays a fan-out over the holding nodes.
+/// * [`CoherenceProtocol::OnRequestValidate`]: commit only advances a
+///   global per-page version counter; nothing is eagerly invalidated.
+///   A node detects staleness lazily when it next references the page — a
+///   buffered copy whose validation stamp is behind the global version is
+///   discarded (with the same bookkeeping as an eager invalidation, dirty-
+///   page-table clear included), the reference pays a validation round trip
+///   to the global lock service, and the access proceeds as a buffer miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoherenceProtocol {
+    /// Eager commit-time invalidation of stale remote copies.
+    #[default]
+    BroadcastInvalidate,
+    /// Lazy validation: version check on reference, stale hit ⇒ miss.
+    OnRequestValidate,
+}
+
+/// How a buffer miss for a page that another node holds a valid copy of is
+/// satisfied under data sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageTransfer {
+    /// Re-read the page from the shared disk (the paper's base assumption).
+    #[default]
+    DiskReread,
+    /// Fetch the page directly from the holding node's memory: a message
+    /// round trip ([`CoherenceParams::transfer_msg_ms`] each way) plus a
+    /// memory-copy CPU burst ([`CoherenceParams::transfer_copy_instr`])
+    /// replace the disk read.
+    DirectTransfer,
+}
+
+/// Cross-node buffer coherence parameters (only read under
+/// [`Architecture::DataSharing`] with more than one node).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceParams {
+    /// How stale remote copies are detected and discarded.
+    pub protocol: CoherenceProtocol,
+    /// How misses on remotely-held pages are satisfied.
+    pub page_transfer: PageTransfer,
+    /// One-way message delay (ms) of a direct page transfer; a transfer pays
+    /// a round trip (request + page shipment).  Also the delay of an
+    /// on-request validation round trip to the global version service.
+    pub transfer_msg_ms: SimTime,
+    /// CPU instructions to copy a transferred page between pools, charged on
+    /// the requester's CPUs.
+    pub transfer_copy_instr: f64,
+}
+
+impl Default for CoherenceParams {
+    fn default() -> Self {
+        Self {
+            protocol: CoherenceProtocol::BroadcastInvalidate,
+            page_transfer: PageTransfer::DiskReread,
+            // The same cheap interconnect as the lock and function-shipping
+            // messages, so protocol comparisons are apples to apples.
+            transfer_msg_ms: 0.2,
+            // ~5k instructions to receive and install a 4 KB page — an
+            // eighth of an average object reference.
+            transfer_copy_instr: 5_000.0,
+        }
+    }
+}
+
+impl CoherenceParams {
+    /// The pre-existing behavior: broadcast invalidation, disk re-read.
+    pub fn broadcast() -> Self {
+        Self::default()
+    }
+
+    /// On-request validation (lazy staleness detection).
+    pub fn on_request_validate() -> Self {
+        Self {
+            protocol: CoherenceProtocol::OnRequestValidate,
+            ..Self::default()
+        }
+    }
+
+    /// Enables direct cache-to-cache page transfer for buffer misses.
+    pub fn with_direct_transfer(mut self) -> Self {
+        self.page_transfer = PageTransfer::DirectTransfer;
+        self
+    }
+
+    /// True for the default broadcast-invalidation / disk-reread
+    /// combination — runs whose reports must stay byte-identical to those
+    /// captured before the protocol options existed (the delay/cost knobs
+    /// are irrelevant then: neither protocol message is ever sent).
+    pub fn is_default_protocol(&self) -> bool {
+        self.protocol == CoherenceProtocol::BroadcastInvalidate
+            && self.page_transfer == PageTransfer::DiskReread
+    }
+}
+
 /// Complete configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
@@ -438,6 +539,9 @@ pub struct SimulationConfig {
     /// Parallel-kernel parameters (worker threads, lookahead).  Wall-clock
     /// tuning only: simulated results are identical for every setting.
     pub parallelism: ParallelismParams,
+    /// Cross-node buffer coherence protocol and page-transfer policy
+    /// (data sharing with more than one node; ignored otherwise).
+    pub coherence: CoherenceParams,
     /// Transaction arrival rate in transactions per second (open system,
     /// Poisson arrivals).
     pub arrival_rate_tps: f64,
@@ -494,6 +598,12 @@ impl SimulationConfig {
         if self.parallelism.lookahead_ms.is_nan() || self.parallelism.lookahead_ms < 0.0 {
             return Err("kernel lookahead must be non-negative".into());
         }
+        if self.coherence.transfer_msg_ms.is_nan() || self.coherence.transfer_msg_ms < 0.0 {
+            return Err("page-transfer message delay must be non-negative".into());
+        }
+        if self.coherence.transfer_copy_instr.is_nan() || self.coherence.transfer_copy_instr < 0.0 {
+            return Err("page-transfer copy cost must be non-negative".into());
+        }
         if self.architecture == Architecture::SharedNothing {
             if self.recovery.enabled() {
                 return Err(
@@ -512,6 +622,15 @@ impl SimulationConfig {
                     "group commit is not supported in shared-nothing mode (the engine's \
                      commit batch is global and would merge log writes across the \
                      per-node logs)"
+                        .into(),
+                );
+            }
+            if self.coherence.protocol != CoherenceProtocol::BroadcastInvalidate
+                || self.coherence.page_transfer != PageTransfer::DiskReread
+            {
+                return Err(
+                    "coherence protocols apply only to the data-sharing architecture \
+                     (shared-nothing pools never hold remote pages)"
                         .into(),
                 );
             }
@@ -632,10 +751,12 @@ mod tests {
                 nvem_cache_pages: 0,
                 nvem_write_buffer_pages: 0,
                 update_strategy: bufmgr::UpdateStrategy::NoForce,
+                lru_k: 1,
                 partitions: vec![PartitionPolicy::on_disk_unit(0)],
             },
             cc_modes: vec![CcMode::Page],
             parallelism: ParallelismParams::default(),
+            coherence: CoherenceParams::default(),
             arrival_rate_tps: 100.0,
             warmup_ms: 1000.0,
             measure_ms: 5000.0,
@@ -846,6 +967,43 @@ mod tests {
         assert_eq!(
             PartitioningParams::range(3).scheme,
             dbmodel::PartitionScheme::Range
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_coherence_params() {
+        let mut c = minimal_config();
+        c.coherence.transfer_msg_ms = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.coherence.transfer_msg_ms = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.coherence.transfer_copy_instr = -1.0;
+        assert!(c.validate().is_err());
+        // Every protocol/transfer combination validates under data sharing …
+        let mut c = minimal_config();
+        c.nodes = NodeParams::data_sharing(4);
+        c.coherence = CoherenceParams::on_request_validate().with_direct_transfer();
+        assert!(c.validate().is_ok());
+        c.coherence = CoherenceParams::broadcast().with_direct_transfer();
+        assert!(c.validate().is_ok());
+        // … but shared nothing refuses non-default coherence settings.
+        let mut c = minimal_config();
+        c.architecture = Architecture::SharedNothing;
+        c.coherence = CoherenceParams::on_request_validate();
+        assert!(c.validate().is_err());
+        let mut c = minimal_config();
+        c.architecture = Architecture::SharedNothing;
+        c.coherence = CoherenceParams::broadcast().with_direct_transfer();
+        assert!(c.validate().is_err());
+        assert_eq!(
+            CoherenceParams::default().protocol,
+            CoherenceProtocol::BroadcastInvalidate
+        );
+        assert_eq!(
+            CoherenceParams::default().page_transfer,
+            PageTransfer::DiskReread
         );
     }
 

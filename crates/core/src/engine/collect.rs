@@ -61,6 +61,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
         }
         self.lockmgr.reset_stats();
         self.shipping = crate::metrics::ShippingReport::empty(self.nodes.len());
+        self.coherence_stats = crate::metrics::CoherenceReport::empty();
         if let Some(rec) = self.recovery.as_mut() {
             rec.reset_stats();
             // Forget the issue stamps of in-flight checkpoint writes: their
@@ -189,6 +190,12 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // reports from before the shared-nothing mode).
         let shipping = self.partition_map.is_some().then(|| self.shipping.clone());
 
+        // The coherence section exists exactly for non-default protocol /
+        // transfer combinations; default broadcast/disk-reread reports omit
+        // it (and render byte-identically to pre-protocol-option reports).
+        let coherence =
+            (!self.config.coherence.is_default_protocol()).then_some(self.coherence_stats);
+
         let nvem_capacity = self.config.nvem.num_servers.max(1) as f64;
         SimulationReport {
             arrival_rate_tps: self.config.arrival_rate_tps,
@@ -215,6 +222,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 .map(|s| s.global_locks)
                 .unwrap_or_else(|| self.lockmgr.global_stats()),
             recovery,
+            coherence,
             shipping,
             devices,
             nodes: nodes_report,

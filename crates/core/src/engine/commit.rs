@@ -210,22 +210,15 @@ impl<W: WorkloadGenerator> Simulation<W> {
         let tx_type = entry.template.tx_type;
         let is_update = entry.is_update;
         // Data sharing: a committed update invalidates stale copies of the
-        // written pages in every *other* node's buffer pool.  Stale copies
-        // are dropped without a write-back even when dirty (NOFORCE): the
-        // committing node holds the current version and propagates it
-        // itself, so only the latest owner ever writes the page.
-        // Shared nothing needs no invalidation at all: a page is only ever
-        // cached at its owner (remote references go through the owner's
-        // pool), so no stale copy can exist.
-        if self.nodes.len() > 1 && is_update && self.partition_map.is_none() {
-            for &(_, page) in &self.templates.entry(template).written_pages {
-                for (other, node_rt) in self.nodes.iter_mut().enumerate() {
-                    if other != node {
-                        node_rt.bufmgr.invalidate_page(page);
-                    }
-                }
-            }
-        }
+        // written pages in the *other* holders' buffer pools (via the
+        // page → holders index) or, under on-request validation, bumps the
+        // pages' global versions.  Stale copies are dropped without a
+        // write-back even when dirty (NOFORCE): the committing node holds
+        // the current version and propagates it itself, so only the latest
+        // owner ever writes the page.  Shared nothing needs no coherence at
+        // all: a page is only ever cached at its owner (remote references
+        // go through the owner's pool), so no stale copy can exist.
+        self.commit_coherence(node, template, is_update);
         // Phase 2 of commit: release all locks and wake waiters.  Release
         // messages to the global lock service are asynchronous — the
         // committer does not wait for them.

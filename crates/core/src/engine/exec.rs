@@ -336,6 +336,12 @@ impl<W: WorkloadGenerator> Simulation<W> {
     /// node under data sharing, the page's owner while a shared-nothing
     /// reference runs function-shipped — and queues the resulting storage
     /// operations.
+    ///
+    /// Under multi-node data sharing this is also the coherence hook: the
+    /// node is registered in the page → holders index, an on-request
+    /// validation check may turn a stale hit into a miss (plus a validation
+    /// round trip), and a miss may be served by a direct cache-to-cache
+    /// transfer from a donor node instead of a disk re-read.
     fn buffer_fetch(&mut self, slot: usize, ref_idx: usize) {
         let (node, obj_ref) = {
             let tx = self.txs.tx(slot);
@@ -344,12 +350,29 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 self.templates.entry(tx.template).template.refs[ref_idx],
             )
         };
+        let coherent = self.coherence_active();
+        let validation_ms = if coherent {
+            self.validate_reference(node, obj_ref.page)
+        } else {
+            None
+        };
         let outcome = self.nodes[node].bufmgr.reference_page(
             obj_ref.partition,
             obj_ref.page,
             obj_ref.mode.is_write(),
         );
-        let ops = self.convert_page_ops(&outcome.ops);
+        let mut ops = if coherent && !outcome.main_memory_hit && !outcome.nvem_cache_hit {
+            self.convert_page_ops_with_transfer(node, obj_ref.page, &outcome.ops)
+        } else {
+            self.convert_page_ops(&outcome.ops)
+        };
+        if let Some(ms) = validation_ms {
+            ops.insert(0, MicroOp::RemoteDelay { ms });
+        }
+        if coherent {
+            self.note_holder(node, obj_ref.page);
+            self.stamp_fetch(node, obj_ref.page);
+        }
         self.txs.tx_mut(slot).push_ops_front(ops);
     }
 }

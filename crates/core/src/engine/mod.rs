@@ -58,6 +58,7 @@
 //!   per node).
 
 mod arena;
+mod coherence;
 mod collect;
 mod commit;
 mod cpu;
@@ -77,7 +78,7 @@ use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 use bufmgr::BufferManager;
-use dbmodel::{PartitionMap, PartitionScheme, WorkloadGenerator};
+use dbmodel::{PageId, PartitionMap, PartitionScheme, WorkloadGenerator};
 use lockmgr::{GlobalLockService, GlobalLockStats, LockManagerStats};
 use simkernel::stats::{Histogram, Tally, TimeWeighted};
 use simkernel::time::{interarrival_ms, SimTime};
@@ -85,7 +86,7 @@ use simkernel::{EventQueue, Resource, SimRng};
 use storage::{DiskUnitStats, StorageDevice};
 
 use crate::config::{Architecture, SimulationConfig};
-use crate::metrics::{KernelProfile, ShippingReport, SimulationReport};
+use crate::metrics::{CoherenceReport, KernelProfile, ShippingReport, SimulationReport};
 use crate::recovery::RecoveryRuntime;
 
 use arena::{IoArena, TemplateTable, TxArena};
@@ -218,6 +219,24 @@ pub struct Simulation<W: WorkloadGenerator> {
     // function-shipping statistics accumulated since the warm-up reset.
     partition_map: Option<PartitionMap>,
     shipping: ShippingReport,
+
+    // Cross-node buffer coherence (multi-node data sharing only; see the
+    // `coherence` submodule).  `holders` maps each page to the bitmask of
+    // nodes that may hold a buffered copy or a dirty-page-table entry — a
+    // conservative superset maintained at fetch time and pruned lazily
+    // during commit fan-out, so commit invalidation touches only actual
+    // holders instead of broadcasting to every node.  `page_versions` and
+    // `node_versions` carry the per-page version stamps of the on-request
+    // validation protocol (unused, and empty, under broadcast
+    // invalidation).  `coherence_stats` accumulates the report section
+    // since the warm-up reset; the fan-out counters feed the kernel
+    // profile (whole-run wall-clock accounting, never reset).
+    holders: HashMap<PageId, u64>,
+    page_versions: HashMap<PageId, u64>,
+    node_versions: Vec<HashMap<PageId, u64>>,
+    coherence_stats: CoherenceReport,
+    fanout_commits: u64,
+    fanout_ns: u64,
 
     // Transactions: slot arena plus the shared template table.  The lock
     // manager keeps the globally unique `u64` ids (their numeric order is its
@@ -361,6 +380,12 @@ impl<W: WorkloadGenerator> Simulation<W> {
             lockmgr,
             partition_map,
             shipping,
+            holders: HashMap::new(),
+            page_versions: HashMap::new(),
+            node_versions: vec![HashMap::new(); config.nodes.num_nodes],
+            coherence_stats: CoherenceReport::empty(),
+            fanout_commits: 0,
+            fanout_ns: 0,
             txs: TxArena::default(),
             templates: TemplateTable::default(),
             id_to_slot: HashMap::new(),
@@ -482,6 +507,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
         }
         let events = self.queue.popped_total();
         let rounds = self.queue.rounds_total();
+        let (fanout_commits, fanout_ns) = (self.fanout_commits, self.fanout_ns);
         let restart = if self.crashed {
             Some(self.perform_restart())
         } else {
@@ -489,7 +515,9 @@ impl<W: WorkloadGenerator> Simulation<W> {
         };
         let report = self.build_report(restart);
         let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
-        let profile = KernelProfile::new(events, wall_ms).with_sync_rounds(rounds);
+        let profile = KernelProfile::new(events, wall_ms)
+            .with_sync_rounds(rounds)
+            .with_commit_fanout(fanout_commits, fanout_ns);
         (report, profile)
     }
 

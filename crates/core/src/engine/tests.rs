@@ -5,13 +5,16 @@
 use dbmodel::{AccessMode, ObjectId, ObjectRef, PageId, TransactionTemplate};
 use storage::NvemDeviceParams;
 
-use crate::config::{LogAllocation, RecoveryParams};
+use bufmgr::PageOp;
+
+use crate::config::{CoherenceParams, LogAllocation, RecoveryParams};
 use crate::presets::{
     data_sharing_config, debit_credit_config, debit_credit_workload, recovery_config,
     shared_nothing_config, DebitCreditStorage, LOG_UNIT,
 };
 
 use super::iorequest::IoRequest;
+use super::transaction::MicroOp;
 use super::{Flow, Simulation};
 use crate::config::SimulationConfig;
 use crate::metrics::SimulationReport;
@@ -487,10 +490,15 @@ fn commit_invalidation_skips_the_committing_node_and_counts_once() {
     let mut sim = Simulation::new(c, debit_credit_workload(200));
     // Page 42 is buffered on every node; node 0 holds the freshly written
     // (dirty) copy of its committing transaction, nodes 1 and 2 hold stale
-    // clean copies.
-    sim.nodes[0].bufmgr.reference_page(0, PageId(42), true);
-    sim.nodes[1].bufmgr.reference_page(0, PageId(42), false);
-    sim.nodes[2].bufmgr.reference_page(0, PageId(42), false);
+    // clean copies.  Direct bufmgr pokes bypass `buffer_fetch`, so the
+    // holders index must be told by hand — exactly the invariant the
+    // commit-time equivalence debug_assert enforces.
+    for node in 0..3 {
+        sim.nodes[node]
+            .bufmgr
+            .reference_page(0, PageId(42), node == 0);
+        sim.note_holder(node, PageId(42));
+    }
     sim.activate(0, write_template(42), 0.0);
     assert_eq!(sim.op_complete(0), Flow::Finished);
     // The committing node must keep its own just-written copy ...
@@ -512,6 +520,240 @@ fn commit_invalidation_skips_the_committing_node_and_counts_once() {
         .map(|n| n.bufmgr.stats().invalidations)
         .sum();
     assert_eq!(total, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Coherence protocols: holders index, on-request validation, direct transfer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn holders_index_matches_broadcast_on_randomized_multi_node_configs() {
+    // Debug builds assert, at every commit fan-out, that each node outside
+    // the holders mask would experience the old broadcast's
+    // `invalidate_page` as a complete no-op — so simply *running* a spread
+    // of multi-node shapes under the default protocol proves the index path
+    // equivalent to the broadcast it replaced (any divergence panics).
+    for (nodes, tps, seed) in [
+        (2, 120.0, 7),
+        (3, 180.0, 11),
+        (5, 250.0, 23),
+        (8, 320.0, 42),
+    ] {
+        let mut c = data_sharing_config(nodes, tps);
+        c.warmup_ms = 300.0;
+        c.measure_ms = 1_500.0;
+        c.seed = seed;
+        let report = Simulation::new(c, debit_credit_workload(100)).run();
+        assert!(
+            report.invalidations() > 0,
+            "{nodes}-node run exercised no invalidations"
+        );
+        assert!(
+            report.coherence.is_none(),
+            "default protocol must not render a coherence section"
+        );
+    }
+}
+
+#[test]
+fn duplicate_written_pages_intern_once_and_invalidate_once() {
+    // A transaction writing the same page through two references must
+    // intern one `written_pages` entry and invalidate each holder once.
+    let mut c = data_sharing_config(2, 60.0);
+    c.warmup_ms = 300.0;
+    c.measure_ms = 1_500.0;
+    let mut sim = Simulation::new(c, debit_credit_workload(200));
+    sim.nodes[1].bufmgr.reference_page(0, PageId(42), false);
+    sim.note_holder(1, PageId(42));
+    let mut template = write_template(42);
+    template.refs.push(template.refs[0]);
+    sim.activate(0, template, 0.0);
+    let interned = sim.txs.tx(0).template;
+    assert_eq!(
+        sim.templates.entry(interned).written_pages,
+        vec![(0, PageId(42))],
+        "duplicate written pages must deduplicate at intern time"
+    );
+    sim.nodes[0].bufmgr.reference_page(0, PageId(42), true);
+    sim.note_holder(0, PageId(42));
+    assert_eq!(sim.op_complete(0), Flow::Finished);
+    assert_eq!(sim.nodes[1].bufmgr.stats().invalidations, 1);
+}
+
+#[test]
+fn on_request_validation_defers_invalidation_to_the_reference() {
+    let mut c = data_sharing_config(3, 60.0);
+    c.warmup_ms = 300.0;
+    c.measure_ms = 1_500.0;
+    c.coherence = CoherenceParams::on_request_validate();
+    let mut sim = Simulation::new(c, debit_credit_workload(200));
+    for node in 0..3 {
+        sim.nodes[node]
+            .bufmgr
+            .reference_page(0, PageId(42), node == 0);
+        sim.note_holder(node, PageId(42));
+    }
+    sim.activate(0, write_template(42), 0.0);
+    assert_eq!(sim.op_complete(0), Flow::Finished);
+    // Commit sent nothing: the other nodes keep their (now stale) copies.
+    assert!(sim.nodes[1].bufmgr.mm_contains(PageId(42)));
+    assert!(sim.nodes[2].bufmgr.mm_contains(PageId(42)));
+    assert_eq!(sim.nodes[1].bufmgr.stats().invalidations, 0);
+    // The next reference validates: node 1's stamp (absent = version 0) is
+    // behind the bumped global version, so the copy is discarded and the
+    // validation round trip is charged — the stale hit became a miss.
+    let delay = sim.validate_reference(1, PageId(42));
+    assert_eq!(delay, Some(2.0 * sim.config.coherence.transfer_msg_ms));
+    assert!(!sim.nodes[1].bufmgr.mm_contains(PageId(42)));
+    assert_eq!(sim.nodes[1].bufmgr.stats().invalidations, 1);
+    assert_eq!(sim.coherence_stats.stale_validations, 1);
+    // The committer stamped its own copy with the new version: current.
+    assert_eq!(sim.validate_reference(0, PageId(42)), None);
+    assert!(sim.nodes[0].bufmgr.mm_contains(PageId(42)));
+    // A node without any buffered copy has nothing to validate.
+    assert_eq!(sim.validate_reference(2, PageId(43)), None);
+}
+
+#[test]
+fn direct_transfer_replaces_the_disk_reread_when_a_donor_holds_the_page() {
+    let mut c = data_sharing_config(2, 60.0);
+    c.warmup_ms = 300.0;
+    c.measure_ms = 1_500.0;
+    c.coherence = CoherenceParams::broadcast().with_direct_transfer();
+    let mut sim = Simulation::new(c, debit_credit_workload(200));
+    // Node 1 holds a current copy of page 42; node 0 misses on it.
+    sim.nodes[1].bufmgr.reference_page(0, PageId(42), false);
+    sim.note_holder(1, PageId(42));
+    let read = vec![PageOp::UnitRead {
+        unit: 0,
+        page: PageId(42),
+    }];
+    let ops = sim.convert_page_ops_with_transfer(0, PageId(42), &read);
+    assert_eq!(
+        ops.len(),
+        2,
+        "message round trip + memory copy, no disk I/O"
+    );
+    assert!(matches!(ops[0], MicroOp::RemoteDelay { .. }));
+    assert!(matches!(ops[1], MicroOp::CpuBurst { nvem: false, .. }));
+    assert_eq!(sim.coherence_stats.direct_transfers, 1);
+    // No node holds page 43: the conversion falls back to the disk read.
+    let read = vec![PageOp::UnitRead {
+        unit: 0,
+        page: PageId(43),
+    }];
+    let ops = sim.convert_page_ops_with_transfer(0, PageId(43), &read);
+    assert!(matches!(ops.last(), Some(MicroOp::IssueIo { .. })));
+    assert_eq!(sim.coherence_stats.transfer_fallback_reads, 1);
+    // Eviction write-backs travelling with the miss keep their positions.
+    sim.nodes[1].bufmgr.reference_page(0, PageId(44), false);
+    sim.note_holder(1, PageId(44));
+    let mixed = vec![
+        PageOp::UnitWrite {
+            unit: 0,
+            page: PageId(9),
+        },
+        PageOp::UnitRead {
+            unit: 0,
+            page: PageId(44),
+        },
+    ];
+    let ops = sim.convert_page_ops_with_transfer(0, PageId(44), &mixed);
+    assert!(matches!(ops[0], MicroOp::CpuBurst { .. })); // I/O overhead
+    assert!(matches!(ops[1], MicroOp::IssueIo { .. })); // the write-back
+    assert!(matches!(ops[2], MicroOp::RemoteDelay { .. }));
+    assert!(matches!(ops[3], MicroOp::CpuBurst { .. }));
+}
+
+#[test]
+fn on_request_validate_with_direct_transfer_reports_protocol_activity() {
+    let mut c = data_sharing_config(3, 200.0);
+    c.warmup_ms = 500.0;
+    c.measure_ms = 3_000.0;
+    c.coherence = CoherenceParams::on_request_validate().with_direct_transfer();
+    let report = Simulation::new(c, debit_credit_workload(100)).run();
+    let coh = report
+        .coherence
+        .expect("non-default combination renders the coherence section");
+    // The hot BRANCH/TELLER pages are written on every node, so stale hits
+    // (validated and discarded at reference time) and donor-served misses
+    // both occur in steady state.
+    assert!(coh.stale_validations > 0, "no stale hit was ever validated");
+    assert!(coh.validation_delay_ms > 0.0);
+    assert!(coh.direct_transfers > 0, "no miss was donor-served");
+    assert!(coh.transfer_delay_ms > 0.0);
+    assert!(
+        report.invalidations() >= coh.stale_validations,
+        "stale discards must count as buffer invalidations"
+    );
+    assert!(report.completed > 0);
+}
+
+#[test]
+fn every_coherence_combination_is_deterministic_and_matches_across_kernels() {
+    // Same seed ⇒ byte-identical report for each protocol × transfer
+    // combination, and the sharded kernel must agree with the sequential
+    // oracle byte for byte.
+    let combos = [
+        CoherenceParams::broadcast(),
+        CoherenceParams::broadcast().with_direct_transfer(),
+        CoherenceParams::on_request_validate(),
+        CoherenceParams::on_request_validate().with_direct_transfer(),
+    ];
+    for coherence in combos {
+        let make = |threads: usize| {
+            let mut c = data_sharing_config(3, 150.0);
+            c.warmup_ms = 300.0;
+            c.measure_ms = 1_500.0;
+            c.coherence = coherence;
+            c.parallelism.kernel_threads = threads;
+            c
+        };
+        let a = Simulation::new(make(0), debit_credit_workload(100)).run();
+        let b = Simulation::new(make(0), debit_credit_workload(100)).run();
+        let sharded = Simulation::new(make(2), debit_credit_workload(100)).run();
+        assert_eq!(
+            format!("{a:#?}"),
+            format!("{b:#?}"),
+            "{coherence:?} is not deterministic"
+        );
+        assert_eq!(
+            format!("{a:#?}"),
+            format!("{sharded:#?}"),
+            "{coherence:?} diverges under the sharded kernel"
+        );
+        assert_eq!(a.coherence.is_some(), !coherence.is_default_protocol());
+    }
+}
+
+#[test]
+fn lru_k1_report_is_byte_identical_to_the_default_lru() {
+    let make = |k: usize| {
+        let mut c = quick_config(DebitCreditStorage::Disk, 150.0);
+        c.buffer.mm_buffer_pages = 300; // small pool: steady-state evictions
+        c.buffer = c.buffer.clone().with_lru_k(k);
+        c
+    };
+    let baseline =
+        Simulation::new(quick_config_with_small_pool(), debit_credit_workload(100)).run();
+    let k1 = Simulation::new(make(1), debit_credit_workload(100)).run();
+    assert_eq!(
+        format!("{baseline:#?}"),
+        format!("{k1:#?}"),
+        "explicit K = 1 must be byte-identical to the default LRU chain"
+    );
+    // K = 2 is a different replacement policy but stays deterministic.
+    let k2a = Simulation::new(make(2), debit_credit_workload(100)).run();
+    let k2b = Simulation::new(make(2), debit_credit_workload(100)).run();
+    assert_eq!(format!("{k2a:#?}"), format!("{k2b:#?}"));
+    assert!(k2a.completed > 0);
+    assert!(k2a.buffer.mm_evictions > 0, "small pool must evict");
+}
+
+fn quick_config_with_small_pool() -> SimulationConfig {
+    let mut c = quick_config(DebitCreditStorage::Disk, 150.0);
+    c.buffer.mm_buffer_pages = 300;
+    c
 }
 
 #[test]

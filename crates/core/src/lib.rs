@@ -46,13 +46,14 @@ pub mod recovery;
 pub mod tables;
 
 pub use config::{
-    Architecture, CmParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams,
-    ParallelismParams, PartitioningParams, RecoveryParams, SimulationConfig,
+    Architecture, CmParams, CoherenceParams, CoherenceProtocol, ForcePolicy, LogAllocation,
+    LogTruncation, NodeParams, PageTransfer, ParallelismParams, PartitioningParams, RecoveryParams,
+    SimulationConfig,
 };
 pub use engine::Simulation;
 pub use metrics::{
-    DeviceReport, KernelProfile, NodeReport, RecoveryReport, ResponseTimeStats, RestartReport,
-    ShippingReport, SimulationReport,
+    CoherenceReport, DeviceReport, KernelProfile, NodeReport, RecoveryReport, ResponseTimeStats,
+    RestartReport, ShippingReport, SimulationReport,
 };
 
 // Re-export the substrate crates so downstream users need only one dependency.

@@ -208,6 +208,44 @@ impl ShippingReport {
     }
 }
 
+/// Coherence-protocol statistics of a multi-node data-sharing run under a
+/// non-default [`crate::config::CoherenceParams`] combination (on-request
+/// validation and/or direct page transfer).  Absent — not even rendered —
+/// for the default broadcast-invalidation / disk-reread combination, so all
+/// reports captured before the protocol options existed stay byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceReport {
+    /// Buffered copies found stale by a reference-time version check and
+    /// discarded (on-request validation; each also counts as a buffer
+    /// invalidation in [`bufmgr::BufferStats`]).
+    pub stale_validations: u64,
+    /// Total simulated delay of the validation round trips charged for
+    /// stale hits (ms).
+    pub validation_delay_ms: f64,
+    /// Buffer misses satisfied by a direct cache-to-cache transfer from
+    /// another node instead of a disk re-read.
+    pub direct_transfers: u64,
+    /// Total simulated delay of the transfer message round trips (ms; the
+    /// memory-copy CPU bursts are charged to the CPUs, not counted here).
+    pub transfer_delay_ms: f64,
+    /// Misses the direct-transfer path could not serve (no other node held
+    /// a current copy) and that fell back to a disk re-read.
+    pub transfer_fallback_reads: u64,
+}
+
+impl CoherenceReport {
+    /// An all-zero accumulator.
+    pub fn empty() -> Self {
+        Self {
+            stale_validations: 0,
+            validation_delay_ms: 0.0,
+            direct_transfers: 0,
+            transfer_delay_ms: 0.0,
+            transfer_fallback_reads: 0,
+        }
+    }
+}
+
 /// Wall-clock throughput of the simulation kernel over one run, as measured
 /// by [`Simulation::run_profiled`].  Not part of [`SimulationReport`] (the
 /// report describes the *simulated* system and stays byte-identical across
@@ -226,6 +264,13 @@ pub struct KernelProfile {
     /// Synchronization rounds of the sharded kernel (0 on the sequential
     /// kernel).
     pub sync_rounds: u64,
+    /// Committed update transactions that ran the commit-time coherence
+    /// fan-out (version bumps or holder invalidations; 0 on single-node and
+    /// shared-nothing runs, which have no fan-out).
+    pub fanout_commits: u64,
+    /// Wall-clock nanoseconds spent in the commit-time coherence fan-out,
+    /// summed over all commits.
+    pub fanout_ns: u64,
 }
 
 impl KernelProfile {
@@ -236,6 +281,8 @@ impl KernelProfile {
             wall_ms,
             events_per_sec: events as f64 / (wall_ms / 1e3).max(1e-9),
             sync_rounds: 0,
+            fanout_commits: 0,
+            fanout_ns: 0,
         }
     }
 
@@ -243,6 +290,23 @@ impl KernelProfile {
     pub fn with_sync_rounds(mut self, rounds: u64) -> Self {
         self.sync_rounds = rounds;
         self
+    }
+
+    /// Attaches the commit-time coherence fan-out timing.
+    pub fn with_commit_fanout(mut self, commits: u64, ns: u64) -> Self {
+        self.fanout_commits = commits;
+        self.fanout_ns = ns;
+        self
+    }
+
+    /// Average wall-clock microseconds per commit fan-out operation (0 when
+    /// no commit ran a fan-out).
+    pub fn fanout_us_per_commit(&self) -> f64 {
+        if self.fanout_commits == 0 {
+            0.0
+        } else {
+            self.fanout_ns as f64 / 1e3 / self.fanout_commits as f64
+        }
     }
 }
 
@@ -302,6 +366,10 @@ pub struct SimulationReport {
     /// Recovery/checkpointing statistics; `None` when the recovery subsystem
     /// was inactive (checkpointing disabled and no crash simulated).
     pub recovery: Option<RecoveryReport>,
+    /// Coherence-protocol statistics; `Some` exactly when a non-default
+    /// protocol/transfer combination ran (and omitted from the `Debug`
+    /// rendering otherwise, keeping older goldens byte-identical).
+    pub coherence: Option<CoherenceReport>,
     /// Function-shipping statistics; `Some` exactly for shared-nothing runs
     /// (and omitted from the `Debug` rendering otherwise).
     pub shipping: Option<ShippingReport>,
@@ -333,6 +401,11 @@ impl std::fmt::Debug for SimulationReport {
             .field("recovery", &self.recovery);
         // Pre-shared-nothing reports had no such field; rendering it only
         // when present keeps the committed data-sharing goldens byte-exact.
+        // The coherence section follows the same rule for pre-protocol-option
+        // reports (default broadcast/disk-reread runs never carry one).
+        if self.coherence.is_some() {
+            s.field("coherence", &self.coherence);
+        }
         if self.shipping.is_some() {
             s.field("shipping", &self.shipping);
         }
@@ -461,6 +534,7 @@ mod tests {
             },
             global_locks: GlobalLockStats::default(),
             recovery: None,
+            coherence: None,
             shipping: None,
             nodes: Vec::new(),
             devices: vec![DeviceReport {
@@ -511,6 +585,32 @@ mod tests {
         // The two renderings differ only by the shipping section: stripping
         // it restores the data-sharing form field for field.
         assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn coherence_section_renders_only_when_present() {
+        let mut r = dummy_report();
+        let without = format!("{r:#?}");
+        assert!(!without.contains("coherence"));
+        let mut coherence = CoherenceReport::empty();
+        coherence.stale_validations = 7;
+        coherence.direct_transfers = 3;
+        r.coherence = Some(coherence);
+        let with = format!("{r:#?}");
+        assert!(with.contains("coherence"));
+        assert!(with.contains("stale_validations: 7"));
+        assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn kernel_profile_tracks_commit_fanout() {
+        let p = KernelProfile::new(1_000, 2.0);
+        assert_eq!(p.fanout_commits, 0);
+        assert_eq!(p.fanout_us_per_commit(), 0.0);
+        let p = p.with_commit_fanout(500, 1_000_000);
+        assert_eq!(p.fanout_commits, 500);
+        assert_eq!(p.fanout_ns, 1_000_000);
+        assert!((p.fanout_us_per_commit() - 2.0).abs() < 1e-12);
     }
 
     #[test]

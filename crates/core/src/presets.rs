@@ -34,7 +34,7 @@ use simkernel::SimRng;
 use storage::{DeviceSpec, DiskUnitKind, DiskUnitParams, NvemParams};
 
 use crate::config::{
-    Architecture, CmParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams,
+    Architecture, CmParams, CoherenceParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams,
     ParallelismParams, PartitioningParams, RecoveryParams, SimulationConfig,
 };
 
@@ -135,6 +135,7 @@ pub fn debit_credit_config(storage: DebitCreditStorage, arrival_rate_tps: f64) -
         nvem_cache_pages: 0,
         nvem_write_buffer_pages: 0,
         update_strategy: UpdateStrategy::NoForce,
+        lru_k: 1,
         partitions: vec![PartitionPolicy::on_disk_unit(DB_UNIT); num_partitions],
     };
     let (devices, log_allocation) = match storage {
@@ -196,6 +197,7 @@ pub fn debit_credit_config(storage: DebitCreditStorage, arrival_rate_tps: f64) -
         buffer,
         cc_modes: debit_credit_cc_modes(),
         parallelism: ParallelismParams::default(),
+        coherence: CoherenceParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,
@@ -507,6 +509,7 @@ pub fn trace_config(
         nvem_cache_pages: 0,
         nvem_write_buffer_pages: 0,
         update_strategy: UpdateStrategy::NoForce,
+        lru_k: 1,
         partitions: vec![PartitionPolicy::on_disk_unit(DB_UNIT); num_partitions],
     };
     let mut log_allocation = LogAllocation::DiskUnit(LOG_UNIT);
@@ -553,6 +556,7 @@ pub fn trace_config(
         buffer,
         cc_modes,
         parallelism: ParallelismParams::default(),
+        coherence: CoherenceParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,
@@ -622,6 +626,7 @@ pub fn contention_config(
         nvem_cache_pages: 0,
         nvem_write_buffer_pages: 0,
         update_strategy: UpdateStrategy::NoForce,
+        lru_k: 1,
         partitions,
     };
     SimulationConfig {
@@ -639,6 +644,7 @@ pub fn contention_config(
         buffer,
         cc_modes: vec![granularity; 2],
         parallelism: ParallelismParams::default(),
+        coherence: CoherenceParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,

@@ -26,6 +26,7 @@ pub mod device;
 pub mod disk_unit;
 pub mod io;
 pub mod lru;
+pub mod lru_k;
 pub mod nvem;
 pub mod params;
 
@@ -33,5 +34,6 @@ pub use device::{DeviceSpec, StorageDevice};
 pub use disk_unit::{DiskUnit, DiskUnitStats};
 pub use io::{IoDecision, IoKind, ServiceStage};
 pub use lru::LruCache;
+pub use lru_k::LruKTracker;
 pub use nvem::{NvemDevice, NvemDeviceParams, NvemParams};
 pub use params::{DeviceTimings, DiskUnitKind, DiskUnitParams};
