@@ -1,0 +1,14 @@
+//@ expect: counter-underflow
+//@ crate: core
+// The log_wb_pending class: a double completion event drives the unsigned
+// counter through zero and the stat wraps to u64::MAX.
+
+pub struct LogState {
+    pending_writes: u64,
+}
+
+impl LogState {
+    pub fn write_complete(&mut self) {
+        self.pending_writes -= 1;
+    }
+}

@@ -1,0 +1,13 @@
+//@ expect: counter-underflow
+//@ crate: simkernel
+// Per-worker counters in a Vec underflow exactly like scalar fields.
+
+pub struct Pool {
+    in_flight: Vec<usize>,
+}
+
+impl Pool {
+    pub fn done(&mut self, worker: usize) {
+        self.in_flight[worker] -= 1;
+    }
+}

@@ -1,0 +1,11 @@
+//@ expect: float-ord
+//@ crate: simkernel
+// A NaN comparing `None` silently collapses the ordering: the binary search
+// lands on an arbitrary index and every later event inherits the corruption.
+
+pub fn first_bucket_above(cumulative: &[f64], x: f64) -> usize {
+    match cumulative.binary_search_by(|c| c.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Less)) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}

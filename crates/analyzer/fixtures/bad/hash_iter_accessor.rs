@@ -1,0 +1,9 @@
+//@ expect: hash-iter
+//@ crate: core
+// `dirty_page_table()` exposes a HashMap-backed iterator: consuming it in
+// order (first entry wins) is nondeterministic even though no HashMap is
+// declared in this file.
+
+pub fn first_dirty(node: &Node) -> Option<(PageId, u64)> {
+    node.bufmgr.dirty_page_table().iter().next()
+}

@@ -1,0 +1,10 @@
+//@ expect: layering
+//@ crate: storage
+// `storage` sits below `tpsim` in the crate DAG: reaching up inverts the
+// layering even if the manifest somehow resolved it.
+
+use tpsim::config::SimulationConfig;
+
+pub fn peek(config: &SimulationConfig) -> usize {
+    config.nodes
+}

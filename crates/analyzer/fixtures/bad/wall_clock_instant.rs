@@ -1,0 +1,9 @@
+//@ expect: wall-clock
+//@ crate: core
+// Reading the host clock inside the engine makes the run a function of the
+// machine's load instead of (config, seed).
+
+pub fn decide_timeout() -> bool {
+    let started = std::time::Instant::now();
+    started.elapsed().as_millis() > 10
+}

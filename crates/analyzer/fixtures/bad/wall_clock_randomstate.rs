@@ -1,0 +1,8 @@
+//@ expect: wall-clock
+//@ crate: simkernel
+// RandomState seeds SipHash from process entropy: any order or capacity
+// decision derived from it varies run to run.
+
+pub fn seeded_map() -> HashMap<u64, u64, RandomState> {
+    HashMap::with_hasher(RandomState::new())
+}

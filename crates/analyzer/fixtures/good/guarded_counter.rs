@@ -1,0 +1,28 @@
+//@ crate: core
+// The checked decrement pattern: a debug_assert names the invariant, the
+// guard (or checked_sub) makes release builds saturate instead of wrap.
+
+pub struct LogState {
+    pending_writes: u64,
+    queued: usize,
+}
+
+impl LogState {
+    pub fn write_complete(&mut self) {
+        debug_assert!(self.pending_writes > 0, "write completion underflow");
+        self.pending_writes -= 1;
+    }
+
+    pub fn dequeue(&mut self) {
+        if let Some(next) = self.queued.checked_sub(1) {
+            self.queued = next;
+        }
+    }
+
+    pub fn drain_one(&mut self) {
+        if self.queued == 0 {
+            return;
+        }
+        self.queued -= 1;
+    }
+}

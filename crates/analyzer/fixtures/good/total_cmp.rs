@@ -1,0 +1,14 @@
+//@ crate: simkernel
+// Total orderings on floats: total_cmp never collapses, sorted iteration
+// over a Vec is deterministic by construction.
+
+pub fn first_bucket_above(cumulative: &[f64], x: f64) -> usize {
+    match cumulative.binary_search_by(|c| c.total_cmp(&x)) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+pub fn sort_events(times: &mut Vec<(f64, u64)>) {
+    times.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+}

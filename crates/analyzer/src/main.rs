@@ -1,0 +1,114 @@
+//! CLI for the TPSIM invariant analyzer.
+//!
+//! ```text
+//! cargo run -p analyzer              # report unjustified findings
+//! cargo run -p analyzer -- --check   # same + exit 1 when any exist (CI)
+//! cargo run -p analyzer -- --verbose # include justified findings
+//! cargo run -p analyzer -- --list    # the lint catalog
+//! cargo run -p analyzer -- --root P  # analyze a different workspace root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut verbose = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--verbose" | "-v" => verbose = true,
+            "--list" => list = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list {
+        println!("lints enforced by the analyzer:");
+        for &lint in analyzer::Lint::all() {
+            println!("  {:<18} {}", lint.name(), lint.describe());
+        }
+        println!();
+        println!("justify a finding inline with:");
+        println!("  // analyzer: allow(<lint-name>): <non-empty reason>");
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match analyzer::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace root (Cargo.toml + crates/) above {cwd:?}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let findings = match analyzer::analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let (justified, unjustified): (Vec<_>, Vec<_>) =
+        findings.into_iter().partition(|f| f.justified());
+
+    if verbose {
+        for f in &justified {
+            println!("{f}");
+        }
+    }
+    for f in &unjustified {
+        println!("{f}");
+    }
+    println!(
+        "analyzer: {} finding(s): {} unjustified, {} justified",
+        unjustified.len() + justified.len(),
+        unjustified.len(),
+        justified.len()
+    );
+
+    if check && !unjustified.is_empty() {
+        eprintln!(
+            "analyzer: FAIL ({} unjustified finding(s))",
+            unjustified.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_help() {
+    println!("analyzer — TPSIM invariant checks (determinism, layering, counter safety)");
+    println!();
+    println!("usage: cargo run -p analyzer -- [--check] [--verbose] [--list] [--root PATH]");
+    println!();
+    println!("  --check     exit 1 when any unjustified finding exists (CI mode)");
+    println!("  --verbose   also print justified findings");
+    println!("  --list      print the lint catalog and the justification grammar");
+    println!("  --root P    workspace root (default: walk up from the cwd)");
+}

@@ -1,0 +1,313 @@
+//! Line-level source model for the analyzer.
+//!
+//! The analyzer works on a *stripped* view of each Rust source file: string
+//! and character literals are blanked (their delimiters kept), comments are
+//! removed from the code channel and routed to a per-line comment channel
+//! (where the `analyzer: allow(...)` justification grammar lives), and lines
+//! inside `#[cfg(test)] mod … { … }` blocks are marked as test code.  The
+//! lint passes then never have to worry about a pattern that only occurs
+//! inside a string, a doc comment or a unit test.
+//!
+//! This is deliberately **not** a Rust parser.  It is a character-level state
+//! machine good enough for the handful of token shapes the lints need; the
+//! fixture corpus in `fixtures/` pins exactly what it recognises.
+
+/// One logical source line after stripping.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number in the original file.
+    pub number: usize,
+    /// The code channel: literals blanked, comments removed.
+    pub code: String,
+    /// The comment channel: the text of any `//` comment on this line
+    /// (without the slashes), empty when the line has none.
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)] mod … { … }` block.
+    pub in_test: bool,
+}
+
+/// A stripped source file.
+#[derive(Debug)]
+pub struct StrippedFile {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    /// Inside a `/* … */` comment; payload is the nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string literal with `n` hashes (`r#"…"#`).
+    RawStr(u32),
+}
+
+/// Strips `text` into per-line code and comment channels.
+pub fn strip(text: &str) -> StrippedFile {
+    let mut lines = Vec::new();
+    let mut state = State::Normal;
+    for (idx, raw) in text.lines().enumerate() {
+        let (code, comment, next) = strip_line(raw, state);
+        state = next;
+        lines.push(Line {
+            number: idx + 1,
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_blocks(&mut lines);
+    StrippedFile { lines }
+}
+
+/// Strips a single physical line, starting in `state`; returns the code
+/// channel, the comment channel and the state the next line starts in.
+fn strip_line(raw: &str, mut state: State) -> (String, String, State) {
+    let b: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        match state {
+            State::Block(depth) => {
+                if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    i += 2;
+                    state = if depth > 1 {
+                        State::Block(depth - 1)
+                    } else {
+                        State::Normal
+                    };
+                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    i += 2;
+                    state = State::Block(depth + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b[i] == '\\' {
+                    i += 2; // skip the escaped character (may run past EOL)
+                } else if b[i] == '"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Normal;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b[i] == '"' && closes_raw(&b, i + 1, hashes) {
+                    code.push('"');
+                    i += 1 + hashes as usize;
+                    state = State::Normal;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Normal => {
+                let c = b[i];
+                if c == '/' && b.get(i + 1) == Some(&'/') {
+                    // Line comment: the rest of the line is the comment
+                    // channel (doc-comment slashes included in the skip).
+                    let mut j = i + 2;
+                    while b.get(j) == Some(&'/') || b.get(j) == Some(&'!') {
+                        j += 1;
+                    }
+                    comment = b[j..].iter().collect::<String>().trim().to_string();
+                    i = b.len();
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    i += 2;
+                    state = State::Block(1);
+                } else if c == '"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Str;
+                } else if c == 'r' && is_raw_string_start(&b, i) {
+                    // r"…" or r#…#"…"#…# — blank like a normal string.
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    code.push('"');
+                    i = j + 1; // past the opening quote
+                    state = State::RawStr(hashes);
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a char literal closes with a
+                    // quote one or two (escaped) characters later.
+                    if let Some(skip) = char_literal_len(&b, i) {
+                        code.push('\'');
+                        code.push('\'');
+                        i += skip;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (code, comment, state)
+}
+
+/// True when the `r` at `i` starts a raw string literal (`r"` or `r#`),
+/// rather than ending an identifier like `var`.
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = b[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    match b.get(i + 1) {
+        Some('"') => true,
+        Some('#') => {
+            let mut j = i + 1;
+            while b.get(j) == Some(&'#') {
+                j += 1;
+            }
+            b.get(j) == Some(&'"')
+        }
+        _ => false,
+    }
+}
+
+/// True when the raw-string terminator (`"` followed by `hashes` hashes)
+/// completes at `b[i..]` (the quote itself was at `i - 1`).
+fn closes_raw(b: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| b.get(i + k) == Some(&'#'))
+}
+
+/// Length (in chars, including quotes) of a char literal starting at `i`,
+/// or `None` when the quote is a lifetime.
+fn char_literal_len(b: &[char], i: usize) -> Option<usize> {
+    match b.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: find the closing quote within a short window
+            // (covers \n, \', \\, \x7f, \u{…}).
+            let mut j = i + 2;
+            let limit = (i + 12).min(b.len());
+            while j < limit {
+                if b[j] == '\'' {
+                    return Some(j - i + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if b.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None,
+    }
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` blocks.  Attributes between
+/// the cfg and the `mod` keyword are tolerated; the block ends when its brace
+/// depth returns to zero.
+fn mark_test_blocks(lines: &mut [Line]) {
+    let mut pending_cfg = false;
+    let mut depth: i64 = 0;
+    let mut in_block = false;
+    for line in lines.iter_mut() {
+        let code = line.code.trim();
+        if in_block {
+            line.in_test = true;
+            depth += brace_delta(&line.code);
+            if depth <= 0 {
+                in_block = false;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending_cfg = true;
+            continue;
+        }
+        if pending_cfg {
+            if code.is_empty() || code.starts_with("#[") {
+                continue; // more attributes (or a blank) before the item
+            }
+            if code.starts_with("mod ") || code.starts_with("pub mod ") {
+                in_block = true;
+                line.in_test = true;
+                depth = brace_delta(&line.code);
+                if depth <= 0 && line.code.contains('{') {
+                    in_block = false; // one-line module
+                }
+                pending_cfg = false;
+                continue;
+            }
+            // `#[cfg(test)]` on a use/fn/field: only that item is test-only;
+            // the line-level model just clears the flag and moves on.
+            pending_cfg = false;
+        }
+    }
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0i64;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments_into_comment_channel() {
+        let f = strip("let x = 1; // analyzer: allow(hash-iter): reason\n");
+        assert_eq!(f.lines[0].code.trim(), "let x = 1;");
+        assert_eq!(f.lines[0].comment, "analyzer: allow(hash-iter): reason");
+    }
+
+    #[test]
+    fn blanks_string_literals() {
+        let f = strip("let s = \"partial_cmp inside a string\";\n");
+        assert!(!f.lines[0].code.contains("partial_cmp"));
+        assert!(f.lines[0].code.contains("\"\""));
+    }
+
+    #[test]
+    fn blanks_raw_strings_and_chars() {
+        let f = strip("let s = r#\"Instant::now\"#; let c = '\\n'; let l: &'a str = s;\n");
+        assert!(!f.lines[0].code.contains("Instant::now"));
+        assert!(f.lines[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = strip("a /* begin\n partial_cmp \n end */ b\n");
+        assert_eq!(f.lines[0].code.trim(), "a");
+        assert_eq!(f.lines[1].code.trim(), "");
+        assert_eq!(f.lines[2].code.trim(), "b");
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.partial_cmp(y); }\n}\nfn live2() {}\n";
+        let f = strip(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let src = "let s = \"first\nsecond Instant::now\nthird\";\nlet x = 1;\n";
+        let f = strip(src);
+        assert!(!f.lines[1].code.contains("Instant::now"));
+        assert_eq!(f.lines[3].code.trim(), "let x = 1;");
+    }
+}

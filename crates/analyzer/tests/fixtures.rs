@@ -1,0 +1,133 @@
+//! Fixture-corpus golden test: every known-bad snippet under `fixtures/bad`
+//! trips *exactly* its named lint, every snippet under `fixtures/good`
+//! produces zero unjustified findings, and every bad manifest under
+//! `fixtures/manifests` trips the layering check.  The corpus pins the
+//! analyzer's heuristics: a change that stops recognising a pattern (or
+//! starts over-firing) fails here before it silently weakens CI.
+
+use std::path::{Path, PathBuf};
+
+use analyzer::{analyze_source, check_manifest, Lint};
+
+fn fixtures_dir(sub: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(sub)
+}
+
+/// Parses `//@ key: value` (or `#@ key: value` for TOML) header directives.
+fn directive(text: &str, key: &str) -> Option<String> {
+    for line in text.lines() {
+        let line = line.trim();
+        let body = line
+            .strip_prefix("//@")
+            .or_else(|| line.strip_prefix("#@"))?
+            .trim();
+        if let Some(value) = body.strip_prefix(key).and_then(|r| r.strip_prefix(':')) {
+            return Some(value.trim().to_string());
+        }
+    }
+    None
+}
+
+fn sorted_fixtures(sub: &str, ext: &str) -> Vec<PathBuf> {
+    let dir = fixtures_dir(sub);
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == ext))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no fixtures in {}", dir.display());
+    files
+}
+
+#[test]
+fn bad_fixtures_each_trip_exactly_their_lint() {
+    for path in sorted_fixtures("bad", "rs") {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let expect = directive(&text, "expect")
+            .unwrap_or_else(|| panic!("{name}: missing //@ expect: directive"));
+        let expected =
+            Lint::from_name(&expect).unwrap_or_else(|| panic!("{name}: unknown lint `{expect}`"));
+        let crate_dir = directive(&text, "crate")
+            .unwrap_or_else(|| panic!("{name}: missing //@ crate: directive"));
+
+        let findings = analyze_source(&crate_dir, Path::new(&name), &text);
+        let unjustified: Vec<_> = findings.iter().filter(|f| !f.justified()).collect();
+        assert!(
+            !unjustified.is_empty(),
+            "{name}: expected at least one unjustified `{expect}` finding, got none"
+        );
+        for f in &unjustified {
+            assert_eq!(
+                f.lint, expected,
+                "{name}: fixture must trip only `{expect}`, but line {} tripped `{}`: {}",
+                f.line, f.lint, f.message
+            );
+        }
+    }
+}
+
+#[test]
+fn good_fixtures_produce_zero_unjustified_findings() {
+    for path in sorted_fixtures("good", "rs") {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let crate_dir = directive(&text, "crate")
+            .unwrap_or_else(|| panic!("{name}: missing //@ crate: directive"));
+
+        let findings = analyze_source(&crate_dir, Path::new(&name), &text);
+        let unjustified: Vec<String> = findings
+            .iter()
+            .filter(|f| !f.justified())
+            .map(|f| f.to_string())
+            .collect();
+        assert!(
+            unjustified.is_empty(),
+            "{name}: good fixture produced unjustified findings:\n{}",
+            unjustified.join("\n")
+        );
+    }
+}
+
+#[test]
+fn justified_good_fixtures_really_exercise_the_lints() {
+    // The justified fixture must produce *justified* findings — otherwise it
+    // passes trivially without proving the allow-comment grammar works.
+    let path = fixtures_dir("good").join("justified_hash_iter.rs");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let findings = analyze_source("core", Path::new("justified_hash_iter.rs"), &text);
+    let justified = findings.iter().filter(|f| f.justified()).count();
+    assert!(
+        justified >= 2,
+        "expected the justified fixture to trip (and suppress) hash-iter at least twice, got {justified}"
+    );
+}
+
+#[test]
+fn bad_manifests_trip_the_layering_check() {
+    for path in sorted_fixtures("manifests", "toml") {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let expect = directive(&text, "expect")
+            .unwrap_or_else(|| panic!("{name}: missing #@ expect: directive"));
+        assert_eq!(
+            expect, "layering",
+            "{name}: manifests can only trip layering"
+        );
+        let crate_dir = directive(&text, "crate")
+            .unwrap_or_else(|| panic!("{name}: missing #@ crate: directive"));
+
+        let findings = check_manifest(&crate_dir, &text, Path::new(&name));
+        assert!(
+            !findings.is_empty(),
+            "{name}: expected a layering finding, got none"
+        );
+        for f in &findings {
+            assert_eq!(f.lint, Lint::Layering, "{name}: unexpected lint {}", f.lint);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The two whole-workspace invariants CI's `lint-invariants` job relies on:
+//!
+//! * the encoded crate DAG matches the real manifests exactly (no silent
+//!   drift between `analyzer::layering::CRATE_DAG`, `docs/ARCHITECTURE.md`
+//!   and the `Cargo.toml` files);
+//! * the live tree passes the analyzer with zero unjustified findings, so
+//!   `cargo run -p analyzer -- --check` exits 0 on HEAD.
+
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    analyzer::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the analyzer crate")
+}
+
+#[test]
+fn dag_matches_workspace_manifests() {
+    if let Err(drift) = analyzer::verify_dag_matches(&workspace_root()) {
+        panic!("{drift}");
+    }
+}
+
+#[test]
+fn live_tree_has_zero_unjustified_findings() {
+    let findings = analyzer::analyze_workspace(&workspace_root()).expect("scan workspace");
+    let unjustified: Vec<String> = findings
+        .iter()
+        .filter(|f| !f.justified())
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        unjustified.is_empty(),
+        "the live tree must analyze clean (fix the hazard or justify it inline):\n{}",
+        unjustified.join("\n")
+    );
+    // Justifications exist in the tree; each must carry a real reason (the
+    // grammar already rejects empty ones, so just pin that some survive —
+    // a regression that drops all justification parsing would zero this).
+    assert!(
+        findings.iter().any(|f| f.justified()),
+        "expected at least one justified finding in the live tree"
+    );
+}

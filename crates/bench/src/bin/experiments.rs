@@ -161,6 +161,7 @@ fn main() {
     );
     println!();
     for id in ids {
+        // analyzer: allow(wall-clock): reports regeneration time, not simulated results
         let start = std::time::Instant::now();
         let result = run_experiment(&id, &settings);
         println!("## {} — {}", result.experiment.id, result.experiment.title);

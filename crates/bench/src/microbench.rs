@@ -145,7 +145,9 @@ impl Bencher {
     /// measurement budget is exhausted (at least one timed iteration always
     /// runs).
     pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // analyzer: allow(wall-clock): the bench harness measures host time by design
         let warm_up_end = Instant::now() + self.warm_up_time;
+        // analyzer: allow(wall-clock): warm-up budget
         while Instant::now() < warm_up_end {
             black_box(routine());
         }
@@ -153,11 +155,11 @@ impl Bencher {
         let mut total = Duration::ZERO;
         let mut min = Duration::MAX;
         let mut max = Duration::ZERO;
-        let measure_start = Instant::now();
+        let measure_start = Instant::now(); // analyzer: allow(wall-clock): measurement budget
         while iterations < self.sample_size as u64
             && (iterations == 0 || measure_start.elapsed() < self.measurement_time)
         {
-            let t0 = Instant::now();
+            let t0 = Instant::now(); // analyzer: allow(wall-clock): per-iteration timing
             black_box(routine());
             let dt = t0.elapsed();
             total += dt;

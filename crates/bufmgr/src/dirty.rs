@@ -56,6 +56,7 @@ impl DirtyPageTable {
     /// The minimum recovery LSN over all entries — the redo boundary a fuzzy
     /// checkpoint records.  `None` when every committed update is propagated.
     pub fn min_rec_lsn(&self) -> Option<RecLsn> {
+        // analyzer: allow(hash-iter): min over all values is order-independent
         self.entries.values().copied().min()
     }
 
@@ -71,6 +72,8 @@ impl DirtyPageTable {
 
     /// Iterates over `(page, recovery LSN)` pairs (unordered).
     pub fn iter(&self) -> impl Iterator<Item = (PageId, RecLsn)> + '_ {
+        // analyzer: allow(hash-iter): documented-unordered accessor; callers
+        // must fold order-independently or sort (recovery folds a per-page min)
         self.entries.iter().map(|(p, l)| (*p, *l))
     }
 }

@@ -531,6 +531,23 @@ impl BufferManager {
         dropped
     }
 
+    /// Clears a *superseded* dirty-page-table entry for `page` without
+    /// touching any buffered copy (on-request validation: a remote commit
+    /// produced a newer committed version, so this node's pending redo
+    /// entry is obsolete — but no invalidation message exists to drop the
+    /// copy itself; the copy is detected stale at the next reference).
+    /// Keeping the DPT exact between the remote commit and that reference
+    /// tightens `min_rec_lsn`, so fuzzy checkpoints record the true redo
+    /// boundary instead of a superseded one.  Returns true if an entry was
+    /// cleared.
+    pub fn clear_superseded_dpt(&mut self, page: PageId) -> bool {
+        let cleared = self.dirty_table.clear_page(page).is_some();
+        if cleared {
+            self.dpt_only_clears += 1;
+        }
+        cleared
+    }
+
     /// Drops any buffered copy of `page` *unconditionally* because a
     /// reference-time version check found it stale (on-request validation).
     /// Unlike commit-time [`BufferManager::invalidate_page`] this also

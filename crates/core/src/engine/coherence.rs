@@ -24,11 +24,12 @@
 //!   stamp behind the global version discards the copy, pays a validation
 //!   message round trip, and re-fetches — turning the stale hit into a miss.
 //!   A fresh hit costs nothing extra (the check piggybacks on the lock
-//!   request's message).  Under this protocol a superseded
-//!   dirty-page-table entry is cleared at the *reference* instead of the
-//!   remote commit, so a crash between the commit and the next reference
-//!   can redo an already-superseded update — a conservative (never unsafe)
-//!   restart overestimate.
+//!   request's message).  Superseded dirty-page-table entries at other
+//!   holders are cleared *eagerly at the remote commit* (pure local
+//!   bookkeeping — no invalidation message is modelled, and the stale
+//!   buffer copies themselves still wait for their next reference), so a
+//!   fuzzy checkpoint between the commit and that reference records the
+//!   true redo boundary rather than a superseded one.
 //!
 //! Orthogonally, **direct page transfer** replaces the disk re-read of a
 //! miss whose page is currently buffered at another node with a modelled
@@ -71,6 +72,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
         if !is_update || !self.coherence_active() {
             return;
         }
+        // analyzer: allow(wall-clock): feeds KernelProfile only, never the report
         let t0 = Instant::now();
         let num_written = self.templates.entry(template).written_pages.len();
         match self.config.coherence.protocol {
@@ -88,6 +90,19 @@ impl<W: WorkloadGenerator> Simulation<W> {
                     let version = *version;
                     // The committer's own copy is the new version.
                     self.node_versions[node].insert(page, version);
+                    // Other holders' pending redo entries for the page are
+                    // superseded by this commit; clear them eagerly (no
+                    // message — version bumps are local bookkeeping) so
+                    // checkpoints between now and the holders' next
+                    // references record the true redo boundary.  The buffered
+                    // copies stay: they are caught by validate_reference.
+                    let mut pending =
+                        self.holders.get(&page).copied().unwrap_or(0) & !(1u64 << node);
+                    while pending != 0 {
+                        let other = pending.trailing_zeros() as usize;
+                        pending &= pending - 1;
+                        self.nodes[other].bufmgr.clear_superseded_dpt(page);
+                    }
                 }
             }
         }

@@ -107,6 +107,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
     pub(super) fn next_log_page(&mut self) -> PageId {
         // Log pages live in a reserved id range far above any database page.
         let page = PageId(self.next_log_page);
+        debug_assert!(self.next_log_page > 0, "log page id space exhausted");
         self.next_log_page -= 1;
         page
     }
@@ -232,6 +233,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
         self.id_to_slot.remove(&tx_id);
         self.txs.release(slot);
         self.templates.free(template);
+        debug_assert!(
+            self.nodes[node].active_count > 0 && self.total_active > 0,
+            "active-transaction counter underflow"
+        );
         self.nodes[node].active_count -= 1;
         self.total_active -= 1;
         self.active_tw.record(now, self.total_active as f64);

@@ -147,6 +147,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // updates existed only in volatile main memory.
         let mut lost: HashMap<PageId, Lsn> = HashMap::new();
         for node in &self.nodes {
+            // analyzer: allow(hash-iter): folded into a per-page min, order-independent
             for (page, lsn) in node.bufmgr.dirty_page_table().iter() {
                 lost.entry(page)
                     .and_modify(|l| *l = (*l).min(lsn))

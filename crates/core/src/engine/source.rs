@@ -98,6 +98,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
     pub(super) fn admit_next(&mut self, node: usize) {
         let now = self.queue.now();
         if let Some((template, arrival)) = self.nodes[node].input_queue.pop_front() {
+            debug_assert!(self.total_queued > 0, "input-queue counter underflow");
             self.total_queued -= 1;
             self.record_input_queue(node, now);
             self.activate_interned(node, template, arrival);

@@ -615,6 +615,44 @@ fn on_request_validation_defers_invalidation_to_the_reference() {
 }
 
 #[test]
+fn on_request_validation_eagerly_clears_superseded_dpt_entries() {
+    let mut c = data_sharing_config(3, 60.0);
+    c.warmup_ms = 300.0;
+    c.measure_ms = 1_500.0;
+    c.coherence = CoherenceParams::on_request_validate();
+    let mut sim = Simulation::new(c, debit_credit_workload(200));
+    // Node 1 buffered page 42 dirty and has an unpropagated committed
+    // update of its own: a dirty-page-table entry pinning the redo boundary.
+    sim.nodes[1].bufmgr.reference_page(0, PageId(42), true);
+    sim.note_holder(1, PageId(42));
+    sim.nodes[1].bufmgr.note_committed_update(0, PageId(42), 7);
+    assert_eq!(
+        sim.nodes[1].bufmgr.dirty_page_table().rec_lsn(PageId(42)),
+        Some(7)
+    );
+    let clears_before = sim.nodes[1].bufmgr.dpt_only_clears();
+    // Node 0 commits a newer update to the page.
+    sim.nodes[0].bufmgr.reference_page(0, PageId(42), true);
+    sim.note_holder(0, PageId(42));
+    sim.activate(0, write_template(42), 0.0);
+    assert_eq!(sim.op_complete(0), Flow::Finished);
+    // Node 1's superseded redo entry is gone at the commit — not deferred
+    // to the next reference — so a checkpoint taken now records the true
+    // redo boundary...
+    assert_eq!(
+        sim.nodes[1].bufmgr.dirty_page_table().rec_lsn(PageId(42)),
+        None
+    );
+    assert_eq!(sim.nodes[1].bufmgr.dpt_only_clears(), clears_before + 1);
+    // ...but the stale buffered copy stays (no invalidation message is
+    // modelled); it is discarded only by the reference-time version check.
+    assert!(sim.nodes[1].bufmgr.mm_contains(PageId(42)));
+    assert_eq!(sim.nodes[1].bufmgr.stats().invalidations, 0);
+    assert!(sim.validate_reference(1, PageId(42)).is_some());
+    assert!(!sim.nodes[1].bufmgr.mm_contains(PageId(42)));
+}
+
+#[test]
 fn direct_transfer_replaces_the_disk_reread_when_a_donor_holds_the_page() {
     let mut c = data_sharing_config(2, 60.0);
     c.warmup_ms = 300.0;

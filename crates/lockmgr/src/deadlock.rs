@@ -69,6 +69,7 @@ impl WaitsForGraph {
     /// Removes all outgoing edges of `waiter` (it is no longer blocked).
     pub fn clear_waits(&mut self, waiter: TxId) {
         if let Some(mut blockers) = self.edges.remove(&waiter) {
+            // analyzer: allow(hash-iter): set removals commute; order cannot escape
             for b in blockers.drain() {
                 if let Some(set) = self.reverse.get_mut(&b) {
                     set.remove(&waiter);
@@ -88,6 +89,7 @@ impl WaitsForGraph {
     pub fn remove_transaction(&mut self, tx: TxId) {
         self.clear_waits(tx);
         if let Some(mut waiters) = self.reverse.remove(&tx) {
+            // analyzer: allow(hash-iter): set removals commute; order cannot escape
             for w in waiters.drain() {
                 if let Some(set) = self.edges.get_mut(&w) {
                     set.remove(&tx);
@@ -133,6 +135,8 @@ impl WaitsForGraph {
                 continue;
             }
             if let Some(next) = self.edges.get(&t) {
+                // analyzer: allow(hash-iter): reachability is a bool; visit order
+                // affects neither the answer nor any output
                 for n in next {
                     if *n == target {
                         self.stack.clear();
@@ -175,6 +179,8 @@ impl WaitsForGraph {
         self.stack.push(waiter);
         while let Some(t) = self.stack.pop() {
             if let Some(prev) = self.reverse.get(&t) {
+                // analyzer: allow(hash-iter): reachability is a bool; visit order
+                // affects neither the answer nor any output
                 for p in prev {
                     if is_blocker(p) {
                         return true;

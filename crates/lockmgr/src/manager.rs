@@ -229,6 +229,7 @@ impl LockManager {
     /// were held at the crash.  Statistics and CC modes are preserved so the
     /// final report still describes the whole run.
     pub fn crash_reset(&mut self) -> u64 {
+        // analyzer: allow(hash-iter): sum of set sizes is order-independent
         let held: u64 = self.held.values().map(|s| s.len() as u64).sum();
         self.table = LockTable::new();
         self.graph = WaitsForGraph::new();

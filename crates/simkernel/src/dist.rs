@@ -144,11 +144,10 @@ impl DiscreteDist {
     /// Samples a category index.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let x = rng.unit() * self.total;
-        // Binary search for the first cumulative weight > x.
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Less))
-        {
+        // Binary search for the first cumulative weight > x.  total_cmp is
+        // identical to partial_cmp on the finite weights stored here, but
+        // cannot silently collapse the ordering if a NaN ever slips in.
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&x)) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }

@@ -474,6 +474,7 @@ impl<P: Send> ShardedEventQueue<P> {
     /// Advances the clock and counters for one popped event.
     #[inline]
     fn emit(&mut self, time: SimTime, seq: u64, payload: P) -> ScheduledEvent<P> {
+        debug_assert!(self.len > 0, "emit with no scheduled events");
         self.len -= 1;
         self.popped_total += 1;
         debug_assert!(time + 1e-9 >= self.now, "time went backwards");
@@ -528,6 +529,10 @@ impl<P: Send> ShardedEventQueue<P> {
             debug_assert!(self.batches[w].is_empty());
             self.batches[w] = VecDeque::from(std::mem::take(&mut cell.outbox));
             self.heads[w] = cell.head;
+            debug_assert!(
+                self.worker_pending[w] >= self.batches[w].len(),
+                "worker returned more events than were pending"
+            );
             self.worker_pending[w] -= self.batches[w].len();
         }
         self.round_horizon = h;
