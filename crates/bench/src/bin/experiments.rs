@@ -199,6 +199,26 @@ fn run_profile_mode(
             p.id, p.events, p.wall_ms, p.events_per_sec, p.fanout_us_per_commit
         );
     }
+    if fresh.iter().any(|p| p.sched.is_some()) {
+        println!();
+        println!("# request-scheduler counters (simulated, summed over devices)");
+        println!(
+            "{:<26} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "point", "queue depth", "coalesced", "merged adj.", "pf hits", "pf wasted"
+        );
+        for p in &fresh {
+            let Some(s) = &p.sched else { continue };
+            println!(
+                "{:<26} {:>12.3} {:>12} {:>12} {:>12} {:>12}",
+                p.id,
+                s.mean_queue_depth,
+                s.coalesced,
+                s.merged_adjacent,
+                s.prefetch_hits,
+                s.prefetch_wasted
+            );
+        }
+    }
     if let Some(out) = profile_out {
         // A fresh emission carries no history; the committed BENCH_kernel.json
         // keeps its hand-curated history section across PRs.

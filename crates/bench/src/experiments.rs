@@ -96,6 +96,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "fig8.x",
             title: "Fig. 8.x: coherence protocol and page-transfer policy (beyond the paper)",
         },
+        Experiment {
+            id: "fig11.x",
+            title: "Fig. 11.x: per-device I/O request scheduling (beyond the paper)",
+        },
     ]
 }
 
@@ -121,6 +125,7 @@ pub fn run_experiment(id: &str, settings: &RunSettings) -> ExperimentResult {
         "fig6.x" => fig6_x(settings),
         "fig7.x" => fig7_x(settings),
         "fig8.x" => fig8_x(settings),
+        "fig11.x" => fig11_x(settings),
         _ => unreachable!(),
     };
     ExperimentResult { experiment, table }
@@ -984,6 +989,125 @@ fn fig8_x(settings: &RunSettings) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fig. 11.x — per-device I/O request scheduling (beyond the paper)
+// ---------------------------------------------------------------------------
+
+/// The scheduler policies fig11.x compares, from plain FCFS to the full
+/// coalesce + elevator + read-ahead stack.
+fn scheduler_policies() -> Vec<(&'static str, storage::IoSchedulerParams)> {
+    let off = storage::IoSchedulerParams::default();
+    vec![
+        ("FCFS", off),
+        (
+            "coalesce",
+            storage::IoSchedulerParams {
+                coalesce: true,
+                ..off
+            },
+        ),
+        (
+            "coalesce+elevator",
+            storage::IoSchedulerParams {
+                coalesce: true,
+                elevator: true,
+                ..off
+            },
+        ),
+        (
+            "coalesce+elevator+prefetch4",
+            storage::IoSchedulerParams {
+                coalesce: true,
+                elevator: true,
+                prefetch_depth: 4,
+                ..off
+            },
+        ),
+    ]
+}
+
+fn fig11_x(settings: &RunSettings) -> String {
+    // The fig5.x data-sharing workload (same per-node offered rate, growing
+    // node count) under each per-device scheduler policy.  The shared DB
+    // disk unit serves every node's misses, so the aggregate load sweeps the
+    // read queue through its interesting range; the NVEM-log variant removes
+    // the log-disk ceiling so the data-disk queue itself saturates.
+    let per_node_rate = 60.0;
+    let node_counts = [1usize, 2, 4, 8];
+    let mut points = Vec::new();
+    for (placement, nvem_log) in [("disk log", false), ("NVEM log", true)] {
+        for (policy, params) in scheduler_policies() {
+            for &n in &node_counts {
+                points.push((
+                    format!("{placement}: {policy}"),
+                    n as f64,
+                    runner::scheduler_point(n, per_node_rate, params, nvem_log),
+                    Family::DebitCredit,
+                ));
+            }
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    let mut out = format_x_table(&results, &node_counts, "nodes (60 TPS per node)");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "scheduler counters at 8 nodes (summed over devices; FCFS renders none):"
+    );
+    let _ = writeln!(
+        out,
+        "{:<38} {:>10} {:>10} {:>8} {:>10} {:>12} {:>10} {:>10}",
+        "series",
+        "thru[TPS]",
+        "resp[ms]",
+        "depth",
+        "coalesced",
+        "merged adj.",
+        "pf hits",
+        "pf wasted"
+    );
+    for p in results.iter().filter(|p| (p.x - 8.0).abs() < 1e-9) {
+        let r = &p.report;
+        let mut depth = 0.0f64;
+        let (mut coalesced, mut merged, mut hits, mut wasted) = (0u64, 0u64, 0u64, 0u64);
+        for d in &r.devices {
+            if let Some(s) = &d.scheduler {
+                depth = depth.max(s.mean_queue_depth);
+                coalesced += s.coalesced;
+                merged += s.merged_adjacent;
+                hits += s.prefetch_hits;
+                wasted += s.prefetch_wasted;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<38} {:>10.1} {:>10.2} {:>8.2} {:>10} {:>12} {:>10} {:>10}",
+            p.series,
+            r.throughput_tps,
+            r.response_time.mean,
+            depth,
+            coalesced,
+            merged,
+            hits,
+            wasted
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "(depth = worst per-device mean read-queue depth; coalesced = reads that"
+    );
+    let _ = writeln!(
+        out,
+        " joined an existing request; merged adj. = extra pages riding a shared seek;"
+    );
+    let _ = writeln!(
+        out,
+        " pf hits/wasted = prefetched pages referenced vs dropped unreferenced)"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -993,11 +1117,11 @@ mod tests {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for expected in [
             "table2.1", "table2.2", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "table4.2", "fig4.5",
-            "fig4.6", "fig4.7", "fig4.8", "fig5.x", "fig6.x", "fig7.x", "fig8.x",
+            "fig4.6", "fig4.7", "fig4.8", "fig5.x", "fig6.x", "fig7.x", "fig8.x", "fig11.x",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
     }
 
     #[test]
@@ -1030,6 +1154,30 @@ mod tests {
                 result.table
             );
         }
+    }
+
+    #[test]
+    fn fig11_x_quick_run_produces_every_policy_and_renders_counters() {
+        let result = run_experiment("fig11.x", &RunSettings::quick());
+        for series in [
+            "disk log: FCFS",
+            "disk log: coalesce",
+            "disk log: coalesce+elevator",
+            "disk log: coalesce+elevator+prefetch4",
+            "NVEM log: FCFS",
+            "NVEM log: coalesce+elevator+prefetch4",
+        ] {
+            assert!(
+                result.table.contains(series),
+                "missing series {series} in\n{}",
+                result.table
+            );
+        }
+        assert!(
+            result.table.contains("scheduler counters at 8 nodes"),
+            "missing counter table in\n{}",
+            result.table
+        );
     }
 
     #[test]

@@ -33,6 +33,45 @@ pub struct ProfilePoint {
     /// Wall-clock microseconds per commit-time coherence fan-out (0 when the
     /// run had no such fan-outs, e.g. single-node points).
     pub fanout_us_per_commit: f64,
+    /// Per-device request-scheduler counters of the simulated run, summed
+    /// over the devices (`None` when the point runs with the scheduler
+    /// disabled).  Simulated results, not wall-clock: byte-identical across
+    /// reps and kernel thread counts.
+    pub sched: Option<SchedulerProfile>,
+}
+
+/// Request-scheduler counters of one profile point, summed over the point's
+/// devices (the queue depth is the worst per-device mean).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SchedulerProfile {
+    /// Worst per-device mean pending read-queue depth.
+    pub mean_queue_depth: f64,
+    /// Reads that joined an existing pending or in-flight request.
+    pub coalesced: u64,
+    /// Extra pages carried by merged adjacent-page accesses.
+    pub merged_adjacent: u64,
+    /// Prefetched pages that were referenced before leaving the pool.
+    pub prefetch_hits: u64,
+    /// Prefetched pages dropped unreferenced (or already resident).
+    pub prefetch_wasted: u64,
+}
+
+/// Sums the per-device scheduler sections of a report into one
+/// [`SchedulerProfile`]; `None` when no device ran a scheduler.
+fn scheduler_profile(report: &tpsim::SimulationReport) -> Option<SchedulerProfile> {
+    let mut sched = SchedulerProfile::default();
+    let mut any = false;
+    for d in &report.devices {
+        if let Some(s) = &d.scheduler {
+            any = true;
+            sched.mean_queue_depth = sched.mean_queue_depth.max(s.mean_queue_depth);
+            sched.coalesced += s.coalesced;
+            sched.merged_adjacent += s.merged_adjacent;
+            sched.prefetch_hits += s.prefetch_hits;
+            sched.prefetch_wasted += s.prefetch_wasted;
+        }
+    }
+    any.then_some(sched)
 }
 
 /// The fixed configurations of the profile suite, as `(id, config, family)`.
@@ -56,6 +95,21 @@ fn suite_points() -> Vec<(String, SimulationConfig, Family)> {
         "fig6.x/noforce-disk-log".to_string(),
         runner::recovery_point(false, false, 500.0, 150.0),
         Family::RecoveryCrash,
+    ));
+    points.push((
+        "fig11.x/8-nodes-sched".to_string(),
+        runner::scheduler_point(
+            8,
+            60.0,
+            storage::IoSchedulerParams {
+                coalesce: true,
+                elevator: true,
+                prefetch_depth: 4,
+                ..storage::IoSchedulerParams::default()
+            },
+            false,
+        ),
+        Family::DebitCredit,
     ));
     points
 }
@@ -84,13 +138,14 @@ pub fn kernel_profile_suite(reps: usize, kernel_threads: usize) -> Vec<ProfilePo
             config.seed = runner::derive_run_seed(config.seed, 0);
             let mut best: Option<ProfilePoint> = None;
             for _ in 0..reps {
-                let (_, p) = runner::run_point_profiled(&settings, config.clone(), family);
+                let (report, p) = runner::run_point_profiled(&settings, config.clone(), family);
                 let candidate = ProfilePoint {
                     id: id.clone(),
                     events: p.events,
                     wall_ms: p.wall_ms,
                     events_per_sec: p.events_per_sec,
                     fanout_us_per_commit: p.fanout_us_per_commit(),
+                    sched: scheduler_profile(&report),
                 };
                 let better = best
                     .as_ref()
@@ -140,10 +195,25 @@ pub struct HistoryEntry {
 fn render_points(out: &mut String, points: &[ProfilePoint], indent: &str) {
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 < points.len() { "," } else { "" };
+        // Scheduler counters ride along only on scheduler-enabled points;
+        // the baseline parser extracts keys by name and ignores them.
+        let sched = match &p.sched {
+            Some(s) => format!(
+                ", \"sched_queue_depth\": {:.3}, \"sched_coalesced\": {}, \
+                 \"sched_merged_adjacent\": {}, \"sched_prefetch_hits\": {}, \
+                 \"sched_prefetch_wasted\": {}",
+                s.mean_queue_depth,
+                s.coalesced,
+                s.merged_adjacent,
+                s.prefetch_hits,
+                s.prefetch_wasted
+            ),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
             "{indent}{{\"id\": \"{}\", \"events\": {}, \"wall_ms\": {:.3}, \
-             \"events_per_sec\": {:.0}, \"fanout_us_per_commit\": {:.3}}}{comma}",
+             \"events_per_sec\": {:.0}, \"fanout_us_per_commit\": {:.3}{sched}}}{comma}",
             p.id, p.events, p.wall_ms, p.events_per_sec, p.fanout_us_per_commit
         );
     }
@@ -378,6 +448,13 @@ mod tests {
                 wall_ms: 50.0,
                 events_per_sec: 20_000_000.0,
                 fanout_us_per_commit: 1.25,
+                sched: Some(SchedulerProfile {
+                    mean_queue_depth: 2.5,
+                    coalesced: 10,
+                    merged_adjacent: 4,
+                    prefetch_hits: 7,
+                    prefetch_wasted: 1,
+                }),
             },
             ProfilePoint {
                 id: "quickstart/disk".to_string(),
@@ -385,6 +462,7 @@ mod tests {
                 wall_ms: 10.5,
                 events_per_sec: 11_757_714.0,
                 fanout_us_per_commit: 0.0,
+                sched: None,
             },
         ]
     }
@@ -399,6 +477,7 @@ mod tests {
                 wall_ms: 100.0,
                 events_per_sec: 10_000_000.0,
                 fanout_us_per_commit: 2.5,
+                sched: None,
             }],
         }];
         let scaling = ScalingInfo {
@@ -410,6 +489,10 @@ mod tests {
         // The fan-out column rides along in every point; the baseline parser
         // must keep working with (and ignoring) it.
         assert!(json.contains("\"fanout_us_per_commit\": 1.250"));
+        // Scheduler counters appear only on scheduler-enabled points; the
+        // parser must likewise ignore them.
+        assert!(json.contains("\"sched_coalesced\": 10"));
+        assert!(json.contains("\"sched_queue_depth\": 2.500"));
         let parsed = parse_baseline(&json).expect("parse own output");
         // Only the top-level points, not the history snapshot.
         assert_eq!(parsed.len(), 2);
@@ -443,6 +526,7 @@ mod tests {
                 wall_ms: 100.0,
                 events_per_sec: events as f64 / 0.1,
                 fanout_us_per_commit: 0.5,
+                sched: None,
             })
             .collect();
         let par = seq
@@ -510,5 +594,6 @@ mod tests {
         }
         assert!(ids.iter().any(|i| i.starts_with("quickstart/")));
         assert!(ids.iter().any(|i| i.starts_with("fig6.x/")));
+        assert!(ids.contains(&"fig11.x/8-nodes-sched".to_string()));
     }
 }

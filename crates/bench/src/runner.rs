@@ -357,6 +357,24 @@ pub fn coherence_point(
     c
 }
 
+/// Configuration of one I/O-scheduler-policy point (`fig11.x`): the fig5.x
+/// data-sharing workload with an explicit per-device request-scheduler
+/// policy, optionally with the log moved to NVEM so the log disk stops
+/// masking the data-disk read queue.
+pub fn scheduler_point(
+    num_nodes: usize,
+    per_node_rate: f64,
+    params: storage::IoSchedulerParams,
+    nvem_log: bool,
+) -> SimulationConfig {
+    let mut c = data_sharing_point(num_nodes, per_node_rate);
+    c.io_scheduler = params;
+    if nvem_log {
+        c.log_allocation = tpsim::LogAllocation::Nvem;
+    }
+    c
+}
+
 /// Configuration of one shared-nothing scaling point
 /// (`fig7_architecture_compare` / `fig7.x`): the same workload as
 /// [`data_sharing_point`] on the partitioned (function-shipping)

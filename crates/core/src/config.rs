@@ -6,7 +6,7 @@ use bufmgr::BufferConfig;
 use dbmodel::PartitionScheme;
 use lockmgr::CcMode;
 use simkernel::time::SimTime;
-use storage::{DeviceSpec, NvemParams};
+use storage::{DeviceSpec, IoSchedulerParams, NvemParams};
 
 /// CM (computing module) parameters — Table 3.3 / Table 4.1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -542,6 +542,11 @@ pub struct SimulationConfig {
     /// Cross-node buffer coherence protocol and page-transfer policy
     /// (data sharing with more than one node; ignored otherwise).
     pub coherence: CoherenceParams,
+    /// Per-device I/O request scheduling policy (coalescing, elevator
+    /// dispatch, sequential prefetch), applied to every disk unit.  Fully
+    /// disabled by default: the engine then bypasses the scheduler and every
+    /// report stays byte-identical to runs captured before it existed.
+    pub io_scheduler: IoSchedulerParams,
     /// Transaction arrival rate in transactions per second (open system,
     /// Poisson arrivals).
     pub arrival_rate_tps: f64,
@@ -604,6 +609,7 @@ impl SimulationConfig {
         if self.coherence.transfer_copy_instr.is_nan() || self.coherence.transfer_copy_instr < 0.0 {
             return Err("page-transfer copy cost must be non-negative".into());
         }
+        self.io_scheduler.validate()?;
         if self.architecture == Architecture::SharedNothing {
             if self.recovery.enabled() {
                 return Err(
@@ -757,6 +763,7 @@ mod tests {
             cc_modes: vec![CcMode::Page],
             parallelism: ParallelismParams::default(),
             coherence: CoherenceParams::default(),
+            io_scheduler: IoSchedulerParams::default(),
             arrival_rate_tps: 100.0,
             warmup_ms: 1000.0,
             measure_ms: 5000.0,
@@ -1005,6 +1012,28 @@ mod tests {
             CoherenceParams::default().page_transfer,
             PageTransfer::DiskReread
         );
+    }
+
+    #[test]
+    fn validation_catches_bad_io_scheduler_params() {
+        let mut c = minimal_config();
+        c.io_scheduler = IoSchedulerParams {
+            elevator: true,
+            aging_bound: 0,
+            ..IoSchedulerParams::default()
+        };
+        assert!(c.validate().is_err());
+        c.io_scheduler.aging_bound = 8;
+        assert!(c.validate().is_ok());
+        // Every policy combination with a sane aging bound validates.
+        c.io_scheduler = IoSchedulerParams {
+            coalesce: true,
+            elevator: true,
+            prefetch_depth: 4,
+            aging_bound: 16,
+        };
+        assert!(c.validate().is_ok());
+        assert!(!minimal_config().io_scheduler.enabled());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use bufmgr::PageOp;
 use dbmodel::{PageId, WorkloadGenerator};
 use simkernel::resource::Acquire;
-use storage::{IoKind, ServiceStage};
+use storage::{IoKind, ServiceStage, SubmitOutcome};
 
 use super::iorequest::{HeldResource, IoRequest};
 use super::transaction::{MicroOp, TxState};
@@ -123,12 +123,84 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // partition owner while a shared-nothing reference runs shipped), so
         // completion notifications must route back to that pool.
         let node = self.exec_node_of(slot);
+        // Synchronous reads go through the unit's request scheduler when one
+        // is configured; writes (and the notify/log_wb bookkeeping that only
+        // writes carry) keep the direct FCFS path.
+        if kind == IoKind::Read && wait && self.units[unit].scheduler.is_some() {
+            debug_assert!(
+                !notify && !log_wb,
+                "scheduled reads carry no write bookkeeping"
+            );
+            self.txs.tx_mut(slot).state = TxState::WaitingIo;
+            let outcome = self.units[unit]
+                .scheduler
+                .as_mut()
+                .expect("checked above")
+                .submit(page, slot);
+            match outcome {
+                SubmitOutcome::JoinedInflight(io_id) => {
+                    // The page is already being read: park this waiter on the
+                    // in-flight request's completion fan-out.
+                    self.ios
+                        .get_mut(io_id)
+                        .expect("scheduler tracks only live requests")
+                        .group_waiters
+                        .push(slot);
+                }
+                SubmitOutcome::Queued => self.drain_scheduler(node, unit),
+            }
+            return Flow::Blocked;
+        }
         self.start_io(node, unit, kind, page, wait.then_some(slot), notify, log_wb);
         if wait {
             self.txs.tx_mut(slot).state = TxState::WaitingIo;
             Flow::Blocked
         } else {
             Flow::Continue
+        }
+    }
+
+    /// Dispatches every batch the unit's scheduler is willing to release
+    /// (one per free disk-server slot).  The batch leader pays the device's
+    /// full service decision; each merged member adds only its page
+    /// transmission on top — that is the whole point of merging — but the
+    /// device model is still asked for a decision *per member page*, so
+    /// controller-cache state and per-unit counters evolve exactly as if
+    /// the pages had been requested individually.  Background stages
+    /// (destages of absorbed victims) are preserved for every member.
+    pub(super) fn drain_scheduler(&mut self, node: usize, unit: usize) {
+        loop {
+            let Some(batch) = self.units[unit]
+                .scheduler
+                .as_mut()
+                .and_then(|s| s.next_batch())
+            else {
+                return;
+            };
+            let mut stages = Vec::new();
+            let mut background = Vec::new();
+            for (i, &page) in batch.pages.iter().enumerate() {
+                let decision = self.units[unit].device.request(IoKind::Read, page);
+                if i == 0 {
+                    stages = decision.foreground;
+                    background = decision.background;
+                } else {
+                    stages.push(ServiceStage::Transmission(decision.transmission_time()));
+                    background.extend(decision.background);
+                }
+            }
+            let mut io = IoRequest::new(unit, batch.pages[0], stages, None)
+                .with_background(background)
+                .for_node(node)
+                .into_scheduled();
+            io.group_waiters = batch.waiters.clone();
+            let io_id = self.ios.insert(io);
+            self.units[unit]
+                .scheduler
+                .as_mut()
+                .expect("scheduler present while draining")
+                .register_inflight(io_id, &batch);
+            self.advance_io(io_id);
         }
     }
 
@@ -244,6 +316,21 @@ impl<W: WorkloadGenerator> Simulation<W> {
             let bg_id = self.ios.insert(bg);
             self.advance_io(bg_id);
         }
+        // A scheduler-dispatched batch frees its service slot, admits any
+        // speculative member pages into the issuing node's buffer pool and
+        // lets the scheduler release the next batch.
+        if io.scheduled {
+            let done = self.units[io.unit]
+                .scheduler
+                .as_mut()
+                .and_then(|s| s.complete(io_id));
+            if let Some(done) = done {
+                for (page, (node, partition)) in done.prefetched {
+                    self.finish_prefetch(node, partition, page);
+                }
+            }
+            self.drain_scheduler(io.node, io.unit);
+        }
         if let Some(slot) = io.waiter {
             if let Some(tx) = self.txs.get_mut(slot) {
                 tx.state = TxState::Ready;
@@ -253,6 +340,23 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // Wake a whole group-commit batch parked on this log write.
         if !io.group_waiters.is_empty() {
             self.wake_slots(&io.group_waiters);
+        }
+    }
+
+    /// Routes a completed speculative read into the issuing node's buffer
+    /// pool.  Admission never evicts dirty pages
+    /// ([`bufmgr::BufferManager::admit_prefetched`]); under an active
+    /// coherence protocol an admitted copy is registered in the
+    /// page → holders index and version-stamped exactly like a demand
+    /// fetch, so later remote commits invalidate it correctly.
+    fn finish_prefetch(&mut self, node: usize, partition: usize, page: PageId) {
+        let admit = self.nodes[node].bufmgr.admit_prefetched(partition, page);
+        if admit != bufmgr::PrefetchAdmit::Admitted {
+            return;
+        }
+        if self.coherence_active() {
+            self.note_holder(node, page);
+            self.stamp_fetch(node, page);
         }
     }
 }

@@ -52,6 +52,11 @@ pub(crate) struct IoRequest {
     /// This request *is* a background destage; completion updates the disk
     /// unit's cache state.
     pub is_destage: bool,
+    /// The request was dispatched by the unit's [`storage::RequestScheduler`]
+    /// (possibly carrying a whole merged batch); completion must report back
+    /// to the scheduler to free its service slot and trigger the next
+    /// dispatch.
+    pub scheduled: bool,
     /// Issue time of a checkpoint log record; on completion the measured
     /// latency (including queueing) is charged as checkpoint overhead.
     pub checkpoint_issued_at: Option<SimTime>,
@@ -81,6 +86,7 @@ impl IoRequest {
             notify_bufmgr: false,
             log_wb: false,
             is_destage: false,
+            scheduled: false,
             checkpoint_issued_at: None,
             held: None,
             pending_service: 0.0,
@@ -132,6 +138,12 @@ impl IoRequest {
         self.is_destage = true;
         self
     }
+
+    /// Marks the request as dispatched by the unit's request scheduler.
+    pub fn into_scheduled(mut self) -> Self {
+        self.scheduled = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +165,7 @@ mod tests {
         assert!(io.notify_bufmgr);
         assert!(io.log_wb);
         assert!(!io.is_destage);
+        assert!(!io.scheduled);
         assert!(io.group_waiters.is_empty());
         assert_eq!(io.checkpoint_issued_at, None);
         assert_eq!(io.pop_stage(), Some(ServiceStage::Disk(5.0)));
@@ -161,5 +174,7 @@ mod tests {
         let destage = IoRequest::new(0, PageId(1), vec![], None).into_destage();
         assert!(destage.is_destage);
         assert!(destage.waiter.is_none());
+        let scheduled = IoRequest::new(0, PageId(1), vec![], None).into_scheduled();
+        assert!(scheduled.scheduled);
     }
 }

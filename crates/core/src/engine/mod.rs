@@ -83,7 +83,7 @@ use lockmgr::{GlobalLockService, GlobalLockStats, LockManagerStats};
 use simkernel::stats::{Histogram, Tally, TimeWeighted};
 use simkernel::time::{interarrival_ms, SimTime};
 use simkernel::{EventQueue, Resource, SimRng};
-use storage::{DiskUnitStats, StorageDevice};
+use storage::{DiskUnitStats, IoSchedulerStats, RequestScheduler, StorageDevice};
 
 use crate::config::{Architecture, SimulationConfig};
 use crate::metrics::{CoherenceReport, KernelProfile, ShippingReport, SimulationReport};
@@ -141,6 +141,10 @@ struct UnitRuntime {
     device: Box<dyn StorageDevice>,
     controllers: Resource,
     disks: Resource,
+    /// Per-device read scheduler (coalescing, elevator dispatch, prefetch
+    /// deduplication); `Some` exactly when the configuration enables a
+    /// scheduling policy.  `None` preserves the direct FCFS path untouched.
+    scheduler: Option<RequestScheduler>,
 }
 
 /// Device and lock statistics frozen at the crash instant.  The restart
@@ -150,6 +154,10 @@ struct UnitRuntime {
 /// [`crate::metrics::RestartReport`]).
 struct CrashStatsSnapshot {
     devices: Vec<DiskUnitStats>,
+    /// Per-unit scheduler counters (`None` for units without a scheduler).
+    /// The restart pass plans its reads through the same scheduler policy,
+    /// so the steady-state counters are frozen alongside the device stats.
+    scheduler: Vec<Option<IoSchedulerStats>>,
     locks: LockManagerStats,
     global_locks: GlobalLockStats,
 }
@@ -328,6 +336,10 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 device: spec.build(format!("unit-{i}")),
                 controllers: Resource::new(format!("unit-{i}-controllers"), spec.num_controllers()),
                 disks: Resource::new(format!("unit-{i}-disks"), spec.num_disks()),
+                scheduler: config
+                    .io_scheduler
+                    .enabled()
+                    .then(|| RequestScheduler::new(config.io_scheduler, spec.num_disks())),
             })
             .collect();
         let nodes = (0..config.nodes.num_nodes)

@@ -25,7 +25,10 @@
 //!    [`storage::StorageDevice`] models the steady-state run uses, with the
 //!    reads prefetched in parallel across each unit's disk servers (the scan
 //!    knows all needed pages in advance; only the log itself is inherently
-//!    sequential) — plus a lock re-acquisition covering the redone pages.
+//!    sequential) and planned by the same scheduler policy as steady-state
+//!    reads ([`storage::scheduler::plan_reads`]: with coalescing enabled,
+//!    adjacent redo pages share one seek) — plus a lock re-acquisition
+//!    covering the redone pages.
 
 use std::collections::HashMap;
 
@@ -136,6 +139,11 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // sections must not include restart work.
         self.crash_stats = Some(super::CrashStatsSnapshot {
             devices: self.units.iter().map(|u| u.device.stats()).collect(),
+            scheduler: self
+                .units
+                .iter()
+                .map(|u| u.scheduler.as_ref().map(|s| s.stats()))
+                .collect(),
             locks: self.lockmgr.stats(),
             global_locks: self.lockmgr.global_stats(),
         });
@@ -212,9 +220,13 @@ impl<W: WorkloadGenerator> Simulation<W> {
         // are known in advance from the scan and prefetch in parallel across
         // each unit's disk servers: the elapsed time per unit is the summed
         // service time divided by its disk count.  The per-I/O CPU overhead
-        // stays serial (one restart CPU drives the redo pass).
+        // stays serial (one restart CPU drives the redo pass).  The service
+        // time itself comes from the shared scheduler planning
+        // ([`storage::scheduler::plan_reads`]): without coalescing it is the
+        // plain per-page sum the restart pass always paid, with coalescing
+        // adjacent redo pages share one seek exactly like steady-state reads.
         let mut data_pages_read = 0u64;
-        let mut unit_read_service = vec![0.0f64; self.units.len()];
+        let mut unit_pages: Vec<Vec<PageId>> = vec![Vec::new(); self.units.len()];
         for &(partition, page) in &redo_pages {
             match self.config.buffer.policy(partition).location {
                 // Main-memory-resident pages are rebuilt from the log alone.
@@ -225,15 +237,20 @@ impl<W: WorkloadGenerator> Simulation<W> {
                 }
                 PageLocation::DiskUnit(unit) => {
                     restart_ms += io_cpu;
-                    unit_read_service[unit] += self.units[unit]
-                        .device
-                        .request(IoKind::Read, page)
-                        .foreground_service_time();
+                    unit_pages[unit].push(page);
                     data_pages_read += 1;
                 }
             }
         }
-        for (unit, service) in unit_read_service.into_iter().enumerate() {
+        for (unit, pages) in unit_pages.iter().enumerate() {
+            if pages.is_empty() {
+                continue;
+            }
+            let service = storage::scheduler::plan_reads(
+                &self.config.io_scheduler,
+                self.units[unit].device.as_mut(),
+                pages,
+            );
             restart_ms += service / self.config.devices[unit].num_disks() as f64;
         }
 

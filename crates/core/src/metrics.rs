@@ -41,8 +41,35 @@ impl ResponseTimeStats {
     }
 }
 
+/// Per-device I/O scheduler counters, present exactly when the run enabled
+/// a scheduling policy ([`storage::IoSchedulerParams::enabled`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoSchedulerReport {
+    /// Mean pending-queue depth seen by arriving read requests.
+    pub mean_queue_depth: f64,
+    /// Reads that joined an existing pending or in-flight request for the
+    /// same page.
+    pub coalesced: u64,
+    /// Extra pages carried by merged adjacent-page accesses (a batch of k
+    /// pages counts k - 1).
+    pub merged_adjacent: u64,
+    /// Speculative reads the scheduler accepted.
+    pub prefetch_issued: u64,
+    /// Prefetched buffer frames whose first reference was a hit (summed
+    /// over the nodes' pools, attributed to this device via the partition
+    /// locations).
+    pub prefetch_hits: u64,
+    /// Speculative reads that bought nothing (page already resident,
+    /// admission rejected, or the frame dropped unreferenced).
+    pub prefetch_wasted: u64,
+}
+
 /// Per-storage-device report.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Debug` is implemented by hand (field-for-field like the derive) so the
+/// `scheduler` section only renders when a scheduling policy ran: goldens
+/// captured before the scheduler existed stay byte-identical.
+#[derive(Clone, PartialEq)]
 pub struct DeviceReport {
     /// Device name (e.g. "db-disks", "log-disk", "nvem-log").
     pub name: String,
@@ -55,6 +82,24 @@ pub struct DeviceReport {
     pub avg_disk_wait: SimTime,
     /// Cache / absorption counters.
     pub stats: DiskUnitStats,
+    /// Request-scheduler counters; `Some` exactly when the run enabled a
+    /// scheduling policy (and omitted from the `Debug` rendering otherwise).
+    pub scheduler: Option<IoSchedulerReport>,
+}
+
+impl std::fmt::Debug for DeviceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("DeviceReport");
+        s.field("name", &self.name)
+            .field("disk_utilization", &self.disk_utilization)
+            .field("controller_utilization", &self.controller_utilization)
+            .field("avg_disk_wait", &self.avg_disk_wait)
+            .field("stats", &self.stats);
+        if self.scheduler.is_some() {
+            s.field("scheduler", &self.scheduler);
+        }
+        s.finish()
+    }
 }
 
 /// Per-node (computing module) report of a data-sharing run.
@@ -547,6 +592,7 @@ mod tests {
                     read_hits: 25,
                     ..Default::default()
                 },
+                scheduler: None,
             }],
         }
     }
@@ -599,6 +645,26 @@ mod tests {
         let with = format!("{r:#?}");
         assert!(with.contains("coherence"));
         assert!(with.contains("stale_validations: 7"));
+        assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn scheduler_section_renders_only_when_present() {
+        let mut r = dummy_report();
+        let without = format!("{r:#?}");
+        assert!(!without.contains("scheduler"));
+        r.devices[0].scheduler = Some(IoSchedulerReport {
+            mean_queue_depth: 1.5,
+            coalesced: 4,
+            merged_adjacent: 2,
+            prefetch_issued: 8,
+            prefetch_hits: 5,
+            prefetch_wasted: 3,
+        });
+        let with = format!("{r:#?}");
+        assert!(with.contains("scheduler"));
+        assert!(with.contains("coalesced: 4"));
+        assert!(with.contains("prefetch_hits: 5"));
         assert!(with.len() > without.len());
     }
 

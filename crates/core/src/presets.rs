@@ -31,7 +31,7 @@ use dbmodel::{
 };
 use lockmgr::CcMode;
 use simkernel::SimRng;
-use storage::{DeviceSpec, DiskUnitKind, DiskUnitParams, NvemParams};
+use storage::{DeviceSpec, DiskUnitKind, DiskUnitParams, IoSchedulerParams, NvemParams};
 
 use crate::config::{
     Architecture, CmParams, CoherenceParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams,
@@ -198,6 +198,7 @@ pub fn debit_credit_config(storage: DebitCreditStorage, arrival_rate_tps: f64) -
         cc_modes: debit_credit_cc_modes(),
         parallelism: ParallelismParams::default(),
         coherence: CoherenceParams::default(),
+        io_scheduler: IoSchedulerParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,
@@ -557,6 +558,7 @@ pub fn trace_config(
         cc_modes,
         parallelism: ParallelismParams::default(),
         coherence: CoherenceParams::default(),
+        io_scheduler: IoSchedulerParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,
@@ -645,6 +647,7 @@ pub fn contention_config(
         cc_modes: vec![granularity; 2],
         parallelism: ParallelismParams::default(),
         coherence: CoherenceParams::default(),
+        io_scheduler: IoSchedulerParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,

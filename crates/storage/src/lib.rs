@@ -15,6 +15,11 @@
 //!   update the disk copy asynchronously.
 //! * **NVEM** — non-volatile extended memory, a page-addressable store that is
 //!   accessed synchronously by the CPU via one or more NVEM servers.
+//! * **Request scheduling** — an optional per-unit scheduling layer
+//!   ([`scheduler::RequestScheduler`]) adding same-page coalescing,
+//!   adjacent-page merging, elevator (C-SCAN) dispatch with a deterministic
+//!   aging bound, and sequential-prefetch deduplication.  Disabled by
+//!   default; the engine bypasses it entirely then.
 //!
 //! The device models are *policy only*: they decide which service stages an
 //! I/O must pass through ([`io::IoDecision`]) and keep the cache state, but
@@ -29,6 +34,7 @@ pub mod lru;
 pub mod lru_k;
 pub mod nvem;
 pub mod params;
+pub mod scheduler;
 
 pub use device::{DeviceSpec, StorageDevice};
 pub use disk_unit::{DiskUnit, DiskUnitStats};
@@ -37,3 +43,7 @@ pub use lru::LruCache;
 pub use lru_k::LruKTracker;
 pub use nvem::{NvemDevice, NvemDeviceParams, NvemParams};
 pub use params::{DeviceTimings, DiskUnitKind, DiskUnitParams};
+pub use scheduler::{
+    CompletedBatch, DispatchBatch, IoSchedulerParams, IoSchedulerStats, PrefetchTag,
+    RequestScheduler, SubmitOutcome,
+};
