@@ -11,6 +11,9 @@
 //!   [`storage::RequestScheduler`]: a mixed hot-set/ascending-run read
 //!   stream submitted, dispatched and completed with a bounded in-flight
 //!   window, isolating the scheduler's queueing structures.
+//! * `quantile_sketch_insert` — streaming inserts into
+//!   [`simkernel::QuantileSketch`] at several capacities: the per-completion
+//!   cost the tail-latency section adds to the engine's hot path.
 //! * `engine` — complete simulation runs (single-node quickstart point and
 //!   the 8-node fig5.x point), reporting the kernel's events/sec via
 //!   [`tpsim::Simulation::run_profiled`].
@@ -24,7 +27,7 @@ mod common;
 use tpsim_bench::microbench::{black_box, Criterion};
 use tpsim_bench::runner::{self, Family, RunSettings};
 
-use simkernel::{EventQueue, SimRng};
+use simkernel::{EventQueue, QuantileSketch, SimRng};
 
 /// One hold-model iteration: `churn` pop+schedule pairs over a primed queue.
 fn hold_model(population: usize, churn: usize) -> f64 {
@@ -114,6 +117,28 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
+/// One sketch-insert iteration: `n` exponential response times streamed into
+/// a fresh sketch of capacity `k`, then one quantile read so the compactions
+/// cannot be optimised away.
+fn sketch_stream(k: usize, n: usize) -> f64 {
+    let mut sketch = QuantileSketch::new(k);
+    let mut rng = SimRng::seed_from(42);
+    for _ in 0..n {
+        sketch.insert(rng.exponential(25.0));
+    }
+    sketch.quantile(0.99).unwrap_or(0.0)
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile_sketch_insert");
+    for k in [64usize, 512, 4_096] {
+        group.bench_function(format!("capacity {k}"), |b| {
+            b.iter(|| black_box(sketch_stream(k, 200_000)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_engine(c: &mut Criterion) {
     let mut settings = RunSettings::full();
     settings.parallel = false;
@@ -151,6 +176,7 @@ fn main() {
     let mut c = common::criterion();
     bench_event_queue(&mut c);
     bench_scheduler(&mut c);
+    bench_sketch(&mut c);
     bench_engine(&mut c);
     c.final_summary();
 }

@@ -8,7 +8,7 @@ use tpsim::presets::{
     ContentionAllocation, DebitCreditStorage, LogVariant, SecondLevel, TraceStorage, DB_UNIT,
 };
 use tpsim::tables;
-use tpsim::CoherenceParams;
+use tpsim::{CoherenceParams, WorkloadParams, WorkloadSchedule};
 
 use crate::runner::{
     self, caching_point, fig4_1_point, fig4_2_point, fig4_3_point, fig4_8_point, trace_point,
@@ -97,6 +97,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Fig. 8.x: coherence protocol and page-transfer policy (beyond the paper)",
         },
         Experiment {
+            id: "fig10.x",
+            title: "Fig. 10.x: tail latency vs load under skew and bursts (beyond the paper)",
+        },
+        Experiment {
             id: "fig11.x",
             title: "Fig. 11.x: per-device I/O request scheduling (beyond the paper)",
         },
@@ -125,6 +129,7 @@ pub fn run_experiment(id: &str, settings: &RunSettings) -> ExperimentResult {
         "fig6.x" => fig6_x(settings),
         "fig7.x" => fig7_x(settings),
         "fig8.x" => fig8_x(settings),
+        "fig10.x" => fig10_x(settings),
         "fig11.x" => fig11_x(settings),
         _ => unreachable!(),
     };
@@ -990,6 +995,150 @@ fn fig8_x(settings: &RunSettings) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Fig. 10.x — tail latency vs load under skew and bursts (beyond the paper)
+// ---------------------------------------------------------------------------
+
+/// The workload shapes fig10.x compares: two Zipf skew intensities under a
+/// constant arrival rate, plus the heavier skew under a bursty schedule.
+fn workload_shapes() -> Vec<(&'static str, WorkloadParams)> {
+    let mut burst = WorkloadParams::skewed(0.9, 0.2);
+    burst.schedule = WorkloadSchedule::Burst {
+        period_ms: 1_000.0,
+        burst_fraction: 0.25,
+        burst_factor: 4.0,
+    };
+    vec![
+        ("zipf 0.5, constant", WorkloadParams::skewed(0.5, 0.2)),
+        ("zipf 0.9, constant", WorkloadParams::skewed(0.9, 0.2)),
+        ("zipf 0.9, burst 4x/25%", burst),
+    ]
+}
+
+/// Formats one percentile column of the fig10.x sweep as a rate table.
+fn format_tail_table(
+    points: &[SweepPoint],
+    rates: &[f64],
+    value: &str,
+    get: impl Fn(&tpsim::SimulationReport) -> f64,
+) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{:<46}",
+        format!("series \\ offered rate [TPS] ({value})")
+    );
+    for r in rates {
+        let _ = write!(out, "{:>10.0}", r);
+    }
+    let _ = writeln!(out);
+    let mut series: Vec<&str> = Vec::new();
+    for p in points {
+        if !series.contains(&p.series.as_str()) {
+            series.push(&p.series);
+        }
+    }
+    for s in series {
+        let _ = write!(out, "{:<46}", s);
+        for r in rates {
+            let point = points
+                .iter()
+                .find(|p| p.series == s && (p.x - r).abs() < 1e-9);
+            match point {
+                Some(p) => {
+                    let _ = write!(out, "{:>10.2}", get(&p.report));
+                }
+                None => {
+                    let _ = write!(out, "{:>10}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn fig10_x(settings: &RunSettings) -> String {
+    // The fig7.x two-node architecture comparison as an open system under
+    // internet-style traffic: hot-spot-skewed page accesses (Zipf over a hot
+    // set) and a time-varying arrival schedule.  The mean barely moves when
+    // the skew grows — the lock and buffer hot spots show up in the p99/p999
+    // columns, which the per-node quantile sketches (merged cluster-wide at
+    // report time) make measurable at constant memory.
+    let num_nodes = 2usize;
+    let mut points = Vec::new();
+    for (arch_label, shared_nothing) in [("sharing", false), ("nothing", true)] {
+        for (shape_label, workload) in workload_shapes() {
+            for &rate in &settings.rates {
+                points.push((
+                    format!("{arch_label}: {shape_label}"),
+                    rate,
+                    runner::workload_point(
+                        shared_nothing,
+                        num_nodes,
+                        rate / num_nodes as f64,
+                        workload,
+                    ),
+                    Family::DebitCredit,
+                ));
+            }
+        }
+    }
+    let results = runner::run_sweep(settings, points);
+    let tail = |f: fn(&tpsim::TailLatencyReport) -> f64| {
+        move |r: &tpsim::SimulationReport| r.tail.as_ref().map(&f).unwrap_or(0.0)
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "mean response [ms]:");
+    out.push_str(&format_tail_table(&results, &settings.rates, "mean", |r| {
+        r.response_time.mean
+    }));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "p50 response [ms]:");
+    out.push_str(&format_tail_table(
+        &results,
+        &settings.rates,
+        "p50",
+        tail(|t| t.p50),
+    ));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "p99 response [ms]:");
+    out.push_str(&format_tail_table(
+        &results,
+        &settings.rates,
+        "p99",
+        tail(|t| t.p99),
+    ));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "p999 response [ms]:");
+    out.push_str(&format_tail_table(
+        &results,
+        &settings.rates,
+        "p999",
+        tail(|t| t.p999),
+    ));
+    let _ = writeln!(out);
+    let worst_bound = results
+        .iter()
+        .filter_map(|p| p.report.tail.as_ref())
+        .map(|t| t.rank_error_bound)
+        .max()
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "({num_nodes} nodes, offered rate split round-robin; hot set = 20 % of each"
+    );
+    let _ = writeln!(
+        out,
+        " partition, Zipf-ranked; burst = 4x the base rate for 25 % of each period;"
+    );
+    let _ = writeln!(
+        out,
+        " percentiles from merged per-node sketches, worst rank-error bound {worst_bound})"
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Fig. 11.x — per-device I/O request scheduling (beyond the paper)
 // ---------------------------------------------------------------------------
 
@@ -1117,11 +1266,12 @@ mod tests {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for expected in [
             "table2.1", "table2.2", "fig4.1", "fig4.2", "fig4.3", "fig4.4", "table4.2", "fig4.5",
-            "fig4.6", "fig4.7", "fig4.8", "fig5.x", "fig6.x", "fig7.x", "fig8.x", "fig11.x",
+            "fig4.6", "fig4.7", "fig4.8", "fig5.x", "fig6.x", "fig7.x", "fig8.x", "fig10.x",
+            "fig11.x",
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
     }
 
     #[test]
@@ -1151,6 +1301,39 @@ mod tests {
             assert!(
                 result.table.contains(series),
                 "missing series {series} in\n{}",
+                result.table
+            );
+        }
+    }
+
+    #[test]
+    fn fig10_x_quick_run_emits_tail_percentiles_for_both_architectures() {
+        let mut settings = RunSettings::quick();
+        settings.rates = vec![100.0, 300.0];
+        let result = run_experiment("fig10.x", &settings);
+        for series in [
+            "sharing: zipf 0.5, constant",
+            "sharing: zipf 0.9, constant",
+            "sharing: zipf 0.9, burst 4x/25%",
+            "nothing: zipf 0.5, constant",
+            "nothing: zipf 0.9, constant",
+            "nothing: zipf 0.9, burst 4x/25%",
+        ] {
+            assert!(
+                result.table.contains(series),
+                "missing series {series} in\n{}",
+                result.table
+            );
+        }
+        for section in [
+            "p50 response",
+            "p99 response",
+            "p999 response",
+            "rank-error bound",
+        ] {
+            assert!(
+                result.table.contains(section),
+                "missing section {section} in\n{}",
                 result.table
             );
         }

@@ -383,6 +383,26 @@ pub fn shared_nothing_point(num_nodes: usize, per_node_rate: f64) -> SimulationC
     presets::shared_nothing_config(num_nodes, per_node_rate * num_nodes as f64)
 }
 
+/// Configuration of one open-system workload point (`fig10.x`): the fig7.x
+/// architecture-comparison workload under a shaped arrival process
+/// (time-varying rate schedule) and/or hot-spot-skewed page accesses.
+/// Shaped runs carry the tail-latency section (`report.tail`) with the
+/// percentiles read from the merged per-node quantile sketches.
+pub fn workload_point(
+    shared_nothing: bool,
+    num_nodes: usize,
+    per_node_rate: f64,
+    workload: tpsim::WorkloadParams,
+) -> SimulationConfig {
+    let mut c = if shared_nothing {
+        shared_nothing_point(num_nodes, per_node_rate)
+    } else {
+        data_sharing_point(num_nodes, per_node_rate)
+    };
+    c.workload = workload;
+    c
+}
+
 /// Configuration of one restart-time point (`fig6_restart_time` / `fig6.x`):
 /// FORCE vs NOFORCE × disk- vs NVEM-resident log × checkpoint interval.
 pub fn recovery_point(
@@ -521,6 +541,49 @@ mod tests {
                     s.series
                 );
             }
+        }
+    }
+
+    #[test]
+    fn shaped_workload_sweep_is_deterministic_across_parallelism() {
+        // Extends the parallel-equals-serial guarantee to the workload-engine
+        // dimension: points with a time-varying arrival schedule and hot-spot
+        // skew must be byte-identical however the sweep is scheduled, and
+        // must carry the tail-latency section.
+        let mut settings = RunSettings::quick();
+        let mk_points = || {
+            let mut burst = tpsim::WorkloadParams::skewed(0.9, 0.2);
+            burst.schedule = tpsim::WorkloadSchedule::Burst {
+                period_ms: 400.0,
+                burst_fraction: 0.25,
+                burst_factor: 4.0,
+            };
+            vec![
+                (
+                    "skew/sharing".to_string(),
+                    120.0,
+                    workload_point(false, 2, 60.0, tpsim::WorkloadParams::skewed(0.9, 0.2)),
+                    Family::DebitCredit,
+                ),
+                (
+                    "burst/nothing".to_string(),
+                    120.0,
+                    workload_point(true, 2, 60.0, burst),
+                    Family::DebitCredit,
+                ),
+            ]
+        };
+        settings.parallel = false;
+        let seq = run_sweep(&settings, mk_points());
+        settings.parallel = true;
+        settings.threads = 2;
+        let par = run_sweep(&settings, mk_points());
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(par.iter()) {
+            assert_eq!(s.report, p.report);
+            let tail = s.report.tail.expect("shaped run carries the tail section");
+            assert!(tail.count > 0);
+            assert!(tail.p50 <= tail.p99 && tail.p99 <= tail.p999);
         }
     }
 

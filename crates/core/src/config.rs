@@ -3,8 +3,9 @@
 //! warm-up, measurement interval, RNG seed).
 
 use bufmgr::BufferConfig;
-use dbmodel::PartitionScheme;
+use dbmodel::{HotSpotParams, PartitionScheme};
 use lockmgr::CcMode;
+use simkernel::dist::PiecewiseRate;
 use simkernel::time::SimTime;
 use storage::{DeviceSpec, IoSchedulerParams, NvemParams};
 
@@ -505,6 +506,202 @@ impl CoherenceParams {
     }
 }
 
+/// Arrival-rate schedule of the open system: how the offered load varies
+/// over simulated time.  Every variant scales the base
+/// [`SimulationConfig::arrival_rate_tps`]; `Constant` keeps the original
+/// homogeneous Poisson process (bit-for-bit, including its RNG draw
+/// sequence), the others drive a non-homogeneous Poisson process through
+/// [`PiecewiseRate`] inversion.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum WorkloadSchedule {
+    /// Fixed rate for the whole run (the paper's model; the default).
+    #[default]
+    Constant,
+    /// A stepped diurnal curve: eight equal steps per `period_ms` following
+    /// `1 + amplitude · sin`, so load swings between roughly
+    /// `(1 - amplitude)` and `(1 + amplitude)` times the base rate while the
+    /// *mean* rate stays exactly the base rate (the eight sine samples sum
+    /// to zero).
+    Diurnal {
+        /// Length of one day-cycle in simulated ms.
+        period_ms: SimTime,
+        /// Relative swing in `[0, 1)`.
+        amplitude: f64,
+    },
+    /// Periodic load spikes: for the first `burst_fraction` of every
+    /// `period_ms` the rate is `burst_factor ×` base, then base for the
+    /// remainder.
+    Burst {
+        /// Length of one burst cycle in simulated ms.
+        period_ms: SimTime,
+        /// Fraction of the cycle spent in the burst, in `(0, 1)`.
+        burst_fraction: f64,
+        /// Rate multiplier during the burst (> 0).
+        burst_factor: f64,
+    },
+    /// Overload-and-recover: `normal_ms` at the base rate, then
+    /// `overload_ms` at `overload_factor ×` base, repeating — the shape used
+    /// to study how far tail latency degrades under a sustained overload and
+    /// how quickly the queues drain afterwards.
+    OverloadRecover {
+        /// Length of the normal-load phase in simulated ms.
+        normal_ms: SimTime,
+        /// Length of the overload phase in simulated ms.
+        overload_ms: SimTime,
+        /// Rate multiplier during the overload phase (> 0).
+        overload_factor: f64,
+    },
+}
+
+impl WorkloadSchedule {
+    /// True for the constant (paper-default) schedule.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, WorkloadSchedule::Constant)
+    }
+
+    /// The cyclic segment list `(duration_ms, factor)` of the schedule, or
+    /// `None` for `Constant`.  Factors multiply the base arrival rate.
+    fn segments(&self) -> Option<Vec<(SimTime, f64)>> {
+        match *self {
+            WorkloadSchedule::Constant => None,
+            WorkloadSchedule::Diurnal {
+                period_ms,
+                amplitude,
+            } => {
+                let step = period_ms / 8.0;
+                Some(
+                    (0..8)
+                        .map(|i| {
+                            let angle = std::f64::consts::TAU * (i as f64 + 0.5) / 8.0;
+                            (step, 1.0 + amplitude * angle.sin())
+                        })
+                        .collect(),
+                )
+            }
+            WorkloadSchedule::Burst {
+                period_ms,
+                burst_fraction,
+                burst_factor,
+            } => Some(vec![
+                (period_ms * burst_fraction, burst_factor),
+                (period_ms * (1.0 - burst_fraction), 1.0),
+            ]),
+            WorkloadSchedule::OverloadRecover {
+                normal_ms,
+                overload_ms,
+                overload_factor,
+            } => Some(vec![(normal_ms, 1.0), (overload_ms, overload_factor)]),
+        }
+    }
+
+    /// Compiles the schedule into the piecewise rate function driving the
+    /// non-homogeneous Poisson arrival process, or `None` for `Constant`
+    /// (the engine then keeps the original draw path untouched).
+    pub fn to_piecewise(&self, base_rate_tps: f64) -> Option<PiecewiseRate> {
+        self.segments().map(|segs| {
+            PiecewiseRate::new(
+                segs.into_iter()
+                    .map(|(dur, factor)| (dur, base_rate_tps * factor))
+                    .collect(),
+            )
+        })
+    }
+
+    /// Validates the schedule parameters (positive, finite, non-degenerate
+    /// segment durations — a zero-duration segment would make the piecewise
+    /// inversion ill-defined).
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            WorkloadSchedule::Constant => Ok(()),
+            WorkloadSchedule::Diurnal {
+                period_ms,
+                amplitude,
+            } => {
+                if !period_ms.is_finite() || period_ms <= 0.0 {
+                    return Err("diurnal period must be positive".into());
+                }
+                if !amplitude.is_finite() || !(0.0..1.0).contains(&amplitude) {
+                    return Err("diurnal amplitude must be in [0, 1)".into());
+                }
+                Ok(())
+            }
+            WorkloadSchedule::Burst {
+                period_ms,
+                burst_fraction,
+                burst_factor,
+            } => {
+                if !period_ms.is_finite() || period_ms <= 0.0 {
+                    return Err("burst period must be positive".into());
+                }
+                if !(burst_fraction.is_finite() && burst_fraction > 0.0 && burst_fraction < 1.0) {
+                    return Err(
+                        "burst fraction must be in (0, 1) (zero-duration segments are \
+                         rejected)"
+                            .into(),
+                    );
+                }
+                if !burst_factor.is_finite() || burst_factor <= 0.0 {
+                    return Err("burst factor must be positive".into());
+                }
+                Ok(())
+            }
+            WorkloadSchedule::OverloadRecover {
+                normal_ms,
+                overload_ms,
+                overload_factor,
+            } => {
+                if !normal_ms.is_finite() || normal_ms <= 0.0 {
+                    return Err("overload-recover normal phase must have positive duration".into());
+                }
+                if !overload_ms.is_finite() || overload_ms <= 0.0 {
+                    return Err(
+                        "overload-recover overload phase must have positive duration".into(),
+                    );
+                }
+                if !overload_factor.is_finite() || overload_factor <= 0.0 {
+                    return Err("overload factor must be positive".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Open-system workload shaping: the arrival-rate schedule plus the
+/// hot-spot skew applied to the page-access pattern.  The default (constant
+/// rate, no skew) reproduces the paper's model exactly — byte-identical
+/// reports, untouched RNG draw sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkloadParams {
+    /// Arrival-rate schedule.
+    pub schedule: WorkloadSchedule,
+    /// Zipfian hot-spot parameters applied to the workload generator.
+    pub hot_spot: HotSpotParams,
+}
+
+impl WorkloadParams {
+    /// A constant-rate schedule with Zipfian skew.
+    pub fn skewed(theta: f64, hot_fraction: f64) -> Self {
+        Self {
+            schedule: WorkloadSchedule::Constant,
+            hot_spot: HotSpotParams::new(theta, hot_fraction),
+        }
+    }
+
+    /// True when any workload shaping is active; gates the tail-latency
+    /// report section (reports of unshaped runs stay byte-identical to
+    /// those captured before this module existed).
+    pub fn is_active(&self) -> bool {
+        !self.schedule.is_constant() || self.hot_spot.is_active()
+    }
+
+    /// Validates schedule and hot-spot parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        self.schedule.validate()?;
+        self.hot_spot.validate()
+    }
+}
+
 /// Complete configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
@@ -547,8 +744,12 @@ pub struct SimulationConfig {
     /// disabled by default: the engine then bypasses the scheduler and every
     /// report stays byte-identical to runs captured before it existed.
     pub io_scheduler: IoSchedulerParams,
+    /// Open-system workload shaping: arrival-rate schedule and hot-spot
+    /// skew.  Inactive by default — unshaped runs keep the paper's constant
+    /// Poisson arrivals and uniform/b-c-rule access, byte-identical.
+    pub workload: WorkloadParams,
     /// Transaction arrival rate in transactions per second (open system,
-    /// Poisson arrivals).
+    /// Poisson arrivals).  Time-varying schedules scale this base rate.
     pub arrival_rate_tps: f64,
     /// Warm-up interval (statistics are discarded), in ms.
     pub warmup_ms: SimTime,
@@ -610,6 +811,7 @@ impl SimulationConfig {
             return Err("page-transfer copy cost must be non-negative".into());
         }
         self.io_scheduler.validate()?;
+        self.workload.validate()?;
         if self.architecture == Architecture::SharedNothing {
             if self.recovery.enabled() {
                 return Err(
@@ -731,8 +933,13 @@ impl SimulationConfig {
     }
 
     /// Expected number of arrivals over the whole run (diagnostic).
+    /// Integrates the arrival-rate schedule; for the constant schedule this
+    /// is exactly `rate · time`.
     pub fn expected_arrivals(&self) -> f64 {
-        self.arrival_rate_tps * self.total_time_ms() / 1000.0
+        match self.workload.schedule.to_piecewise(self.arrival_rate_tps) {
+            None => self.arrival_rate_tps * self.total_time_ms() / 1000.0,
+            Some(rate) => rate.expected_events(0.0, self.total_time_ms()),
+        }
     }
 }
 
@@ -764,6 +971,7 @@ mod tests {
             parallelism: ParallelismParams::default(),
             coherence: CoherenceParams::default(),
             io_scheduler: IoSchedulerParams::default(),
+            workload: WorkloadParams::default(),
             arrival_rate_tps: 100.0,
             warmup_ms: 1000.0,
             measure_ms: 5000.0,
@@ -791,6 +999,109 @@ mod tests {
         let mut c = minimal_config();
         c.arrival_rate_tps = 0.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_hot_spot_params() {
+        let mut c = minimal_config();
+        c.workload.hot_spot = dbmodel::HotSpotParams::new(1.0, 0.5);
+        assert!(c.validate().is_err());
+        c.workload.hot_spot = dbmodel::HotSpotParams::new(0.5, 0.0);
+        assert!(c.validate().is_err());
+        c.workload.hot_spot = dbmodel::HotSpotParams::new(0.5, 1.5);
+        assert!(c.validate().is_err());
+        c.workload.hot_spot = dbmodel::HotSpotParams::new(0.9, 0.1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero_duration_schedule_segments() {
+        let mut c = minimal_config();
+        // burst_fraction 0 or 1 would create a zero-duration segment.
+        c.workload.schedule = WorkloadSchedule::Burst {
+            period_ms: 1000.0,
+            burst_fraction: 0.0,
+            burst_factor: 5.0,
+        };
+        assert!(c.validate().is_err());
+        c.workload.schedule = WorkloadSchedule::Burst {
+            period_ms: 1000.0,
+            burst_fraction: 1.0,
+            burst_factor: 5.0,
+        };
+        assert!(c.validate().is_err());
+        c.workload.schedule = WorkloadSchedule::Burst {
+            period_ms: 0.0,
+            burst_fraction: 0.5,
+            burst_factor: 5.0,
+        };
+        assert!(c.validate().is_err());
+        c.workload.schedule = WorkloadSchedule::OverloadRecover {
+            normal_ms: 1000.0,
+            overload_ms: 0.0,
+            overload_factor: 2.0,
+        };
+        assert!(c.validate().is_err());
+        c.workload.schedule = WorkloadSchedule::Diurnal {
+            period_ms: 1000.0,
+            amplitude: 1.0,
+        };
+        assert!(c.validate().is_err());
+        c.workload.schedule = WorkloadSchedule::Burst {
+            period_ms: 1000.0,
+            burst_fraction: 0.1,
+            burst_factor: 5.0,
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn expected_arrivals_integrates_the_schedule() {
+        // Constant: exactly rate · time (unchanged legacy behaviour).
+        let c = minimal_config();
+        assert_eq!(c.expected_arrivals(), 600.0);
+
+        // Burst: 10% of each cycle at 10×, 90% at 1× → mean factor 1.9.
+        // Six full 1 s cycles fit in the 6 s run, so the integral is exact.
+        let mut c = minimal_config();
+        c.workload.schedule = WorkloadSchedule::Burst {
+            period_ms: 1000.0,
+            burst_fraction: 0.1,
+            burst_factor: 10.0,
+        };
+        assert!((c.expected_arrivals() - 600.0 * 1.9).abs() < 1e-6);
+
+        // Diurnal: the stepped sine is mean-preserving over whole periods.
+        let mut c = minimal_config();
+        c.workload.schedule = WorkloadSchedule::Diurnal {
+            period_ms: 3000.0,
+            amplitude: 0.8,
+        };
+        assert!((c.expected_arrivals() - 600.0).abs() < 1e-6);
+
+        // Overload-recover: 2 s at 1× + 1 s at 3× per 3 s cycle → mean 5/3.
+        let mut c = minimal_config();
+        c.workload.schedule = WorkloadSchedule::OverloadRecover {
+            normal_ms: 2000.0,
+            overload_ms: 1000.0,
+            overload_factor: 3.0,
+        };
+        assert!((c.expected_arrivals() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workload_activity_gate() {
+        assert!(!WorkloadParams::default().is_active());
+        assert!(WorkloadParams::skewed(0.9, 0.1).is_active());
+        let sched = WorkloadParams {
+            schedule: WorkloadSchedule::Burst {
+                period_ms: 1000.0,
+                burst_fraction: 0.1,
+                burst_factor: 5.0,
+            },
+            hot_spot: dbmodel::HotSpotParams::default(),
+        };
+        assert!(sched.is_active());
     }
 
     #[test]

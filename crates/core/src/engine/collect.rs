@@ -5,9 +5,11 @@ use dbmodel::WorkloadGenerator;
 use simkernel::stats::{Tally, TimeWeighted};
 use simkernel::time::SimTime;
 
+use simkernel::sketch::QuantileSketch;
+
 use crate::metrics::{
     DeviceReport, IoSchedulerReport, NodeReport, RecoveryReport, ResponseTimeStats, RestartReport,
-    SimulationReport, TxTypeReport,
+    SimulationReport, TailLatencyReport, TxTypeReport,
 };
 
 use super::Simulation;
@@ -38,6 +40,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
         self.per_type[slot].1.record(resp);
         self.completed += 1;
         self.nodes[node].response.record(resp);
+        self.nodes[node].response_sketch.insert(resp);
         self.nodes[node].completed += 1;
     }
 
@@ -82,6 +85,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             node.remote_lock_requests = 0;
             node.redo_records = 0;
             node.response.reset();
+            node.response_sketch.reset();
             node.active_tw = TimeWeighted::new();
             node.active_tw.record(now, node.active_count as f64);
             node.inputq_tw = TimeWeighted::new();
@@ -231,6 +235,19 @@ impl<W: WorkloadGenerator> Simulation<W> {
         let coherence =
             (!self.config.coherence.is_default_protocol()).then_some(self.coherence_stats);
 
+        // The tail-latency section exists exactly for shaped workloads
+        // (non-constant schedule and/or hot-spot skew); unshaped reports
+        // omit it and render byte-identically to pre-workload-engine
+        // reports.  The cluster-wide sketch is the merge of the per-node
+        // sketches — the cross-shard aggregation path the sketch exists for.
+        let tail = self.config.workload.is_active().then(|| {
+            let mut merged = QuantileSketch::default();
+            for node in &self.nodes {
+                merged.merge(&node.response_sketch);
+            }
+            TailLatencyReport::from_sketch(&merged)
+        });
+
         let nvem_capacity = self.config.nvem.num_servers.max(1) as f64;
         SimulationReport {
             arrival_rate_tps: self.config.arrival_rate_tps,
@@ -259,6 +276,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             recovery,
             coherence,
             shipping,
+            tail,
             devices,
             nodes: nodes_report,
         }

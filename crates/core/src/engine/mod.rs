@@ -80,6 +80,8 @@ use std::time::Instant;
 use bufmgr::BufferManager;
 use dbmodel::{PageId, PartitionMap, PartitionScheme, WorkloadGenerator};
 use lockmgr::{GlobalLockService, GlobalLockStats, LockManagerStats};
+use simkernel::dist::PiecewiseRate;
+use simkernel::sketch::QuantileSketch;
 use simkernel::stats::{Histogram, Tally, TimeWeighted};
 use simkernel::time::{interarrival_ms, SimTime};
 use simkernel::{EventQueue, Resource, SimRng};
@@ -179,6 +181,9 @@ struct NodeRuntime {
     remote_lock_requests: u64,
     redo_records: u64,
     response: Tally,
+    /// Streaming response-time sketch; merged across nodes at report time
+    /// for the cluster-wide p99/p999 (see `metrics::TailLatencyReport`).
+    response_sketch: QuantileSketch,
     active_tw: TimeWeighted,
     inputq_tw: TimeWeighted,
 }
@@ -195,6 +200,7 @@ impl NodeRuntime {
             remote_lock_requests: 0,
             redo_records: 0,
             response: Tally::new(),
+            response_sketch: QuantileSketch::default(),
             active_tw: TimeWeighted::new(),
             inputq_tw: TimeWeighted::new(),
         }
@@ -214,6 +220,10 @@ pub struct Simulation<W: WorkloadGenerator> {
     arrival_rng: SimRng,
     service_rng: SimRng,
     workload_rng: SimRng,
+
+    /// Compiled arrival-rate schedule (`None` for the constant schedule,
+    /// which keeps the original homogeneous draw path bit-for-bit).
+    arrival_schedule: Option<PiecewiseRate>,
 
     // Kernel state.  Starts as the sequential calendar; replaced by the
     // sharded coordinator when the run dispatches to the parallel kernel.
@@ -323,6 +333,16 @@ impl<W: WorkloadGenerator> Simulation<W> {
         if let Err(msg) = config.validate() {
             panic!("invalid simulation configuration: {msg}");
         }
+        let mut workload = workload;
+        // Only active parameters touch the generator: inactive defaults keep
+        // every draw sequence — and therefore every report — byte-identical.
+        if config.workload.hot_spot.is_active() {
+            workload.apply_hot_spot(config.workload.hot_spot);
+        }
+        let arrival_schedule = config
+            .workload
+            .schedule
+            .to_piecewise(config.arrival_rate_tps);
         let mut seed_rng = SimRng::seed_from(config.seed);
         let arrival_rng = seed_rng.derive(1);
         let service_rng = seed_rng.derive(2);
@@ -386,6 +406,7 @@ impl<W: WorkloadGenerator> Simulation<W> {
             arrival_rng,
             service_rng,
             workload_rng,
+            arrival_schedule,
             queue: KernelQueue::Single(EventQueue::new()),
             nodes,
             units,
@@ -538,12 +559,31 @@ impl<W: WorkloadGenerator> Simulation<W> {
     /// the first arrival, the warm-up and run boundaries, and the optional
     /// checkpoint/crash points.
     pub(super) fn seed_initial_events(&mut self) {
-        let first = self
-            .arrival_rng
-            .exponential(interarrival_ms(self.config.arrival_rate_tps));
+        let first = self.next_arrival_gap(0.0);
         self.sched_at(first.min(self.end_time), Ev::Arrival);
         self.sched_at(self.config.warmup_ms, Ev::EndWarmup);
         self.sched_at(self.end_time, Ev::EndRun);
+        self.seed_control_events();
+    }
+
+    /// Time until the next arrival after `now`.  The constant schedule keeps
+    /// the original homogeneous exponential draw (bit-for-bit); time-varying
+    /// schedules drive a non-homogeneous Poisson process by inversion of the
+    /// piecewise rate integral with a unit exponential.
+    pub(super) fn next_arrival_gap(&mut self, now: SimTime) -> SimTime {
+        match &self.arrival_schedule {
+            None => self
+                .arrival_rng
+                .exponential(interarrival_ms(self.config.arrival_rate_tps)),
+            Some(schedule) => {
+                let e = self.arrival_rng.exponential(1.0);
+                schedule.next_arrival_after(now, e) - now
+            }
+        }
+    }
+
+    /// The non-arrival control events of `seed_initial_events`.
+    fn seed_control_events(&mut self) {
         let checkpoint_interval = self.config.recovery.checkpoint_interval_ms;
         if self.recovery.is_some() && checkpoint_interval > 0.0 {
             self.sched_at(checkpoint_interval, Ev::Checkpoint);

@@ -16,7 +16,7 @@
 #[cfg(test)]
 use dbmodel::TransactionTemplate;
 use dbmodel::WorkloadGenerator;
-use simkernel::time::{instr_time, interarrival_ms, SimTime};
+use simkernel::time::{instr_time, SimTime};
 
 use super::transaction::MicroOp;
 use super::{Ev, Simulation};
@@ -27,10 +27,9 @@ impl<W: WorkloadGenerator> Simulation<W> {
         if self.stop_arrivals {
             return;
         }
-        // Schedule the next arrival of the Poisson process.
-        let gap = self
-            .arrival_rng
-            .exponential(interarrival_ms(self.config.arrival_rate_tps));
+        // Schedule the next arrival of the (possibly time-varying) Poisson
+        // process.
+        let gap = self.next_arrival_gap(now);
         if now + gap < self.end_time {
             self.sched_in(gap, Ev::Arrival);
         }

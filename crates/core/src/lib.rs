@@ -48,12 +48,12 @@ pub mod tables;
 pub use config::{
     Architecture, CmParams, CoherenceParams, CoherenceProtocol, ForcePolicy, LogAllocation,
     LogTruncation, NodeParams, PageTransfer, ParallelismParams, PartitioningParams, RecoveryParams,
-    SimulationConfig,
+    SimulationConfig, WorkloadParams, WorkloadSchedule,
 };
 pub use engine::Simulation;
 pub use metrics::{
     CoherenceReport, DeviceReport, IoSchedulerReport, KernelProfile, NodeReport, RecoveryReport,
-    ResponseTimeStats, RestartReport, ShippingReport, SimulationReport,
+    ResponseTimeStats, RestartReport, ShippingReport, SimulationReport, TailLatencyReport,
 };
 
 // Re-export the substrate crates so downstream users need only one dependency.

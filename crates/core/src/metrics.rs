@@ -6,6 +6,7 @@
 
 use bufmgr::BufferStats;
 use lockmgr::{GlobalLockStats, LockManagerStats};
+use simkernel::sketch::QuantileSketch;
 use simkernel::time::SimTime;
 use storage::DiskUnitStats;
 
@@ -355,6 +356,44 @@ impl KernelProfile {
     }
 }
 
+/// Tail-latency summary extracted from the cluster-wide response-time
+/// quantile sketch (ms).  Present exactly for shaped workloads (non-constant
+/// arrival schedule and/or hot-spot skew), where the tail — not the mean — is
+/// the quantity of interest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailLatencyReport {
+    /// Transactions folded into the sketch.
+    pub count: u64,
+    /// Median response time.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Maximum observed response time (exact).
+    pub max: f64,
+    /// Self-certified rank-error bound of the sketch: every reported
+    /// percentile is within this many ranks of the exact order statistic.
+    pub rank_error_bound: u64,
+}
+
+impl TailLatencyReport {
+    /// Reads the tail percentiles out of a (possibly merged) sketch.
+    pub fn from_sketch(sketch: &QuantileSketch) -> Self {
+        TailLatencyReport {
+            count: sketch.count(),
+            p50: sketch.quantile(0.5).unwrap_or(0.0),
+            p95: sketch.quantile(0.95).unwrap_or(0.0),
+            p99: sketch.quantile(0.99).unwrap_or(0.0),
+            p999: sketch.quantile(0.999).unwrap_or(0.0),
+            max: sketch.max().unwrap_or(0.0),
+            rank_error_bound: sketch.rank_error_bound(),
+        }
+    }
+}
+
 /// Per-transaction-type response-time summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TxTypeReport {
@@ -418,6 +457,10 @@ pub struct SimulationReport {
     /// Function-shipping statistics; `Some` exactly for shared-nothing runs
     /// (and omitted from the `Debug` rendering otherwise).
     pub shipping: Option<ShippingReport>,
+    /// Tail-latency percentiles from the merged per-node quantile sketches;
+    /// `Some` exactly when the workload was shaped (non-constant schedule or
+    /// hot-spot skew) and omitted from the `Debug` rendering otherwise.
+    pub tail: Option<TailLatencyReport>,
     /// Per-storage-device reports (one per configured [`storage::DeviceSpec`]).
     pub devices: Vec<DeviceReport>,
     /// Per-node breakdown (one entry per computing module; a single-node run
@@ -453,6 +496,9 @@ impl std::fmt::Debug for SimulationReport {
         }
         if self.shipping.is_some() {
             s.field("shipping", &self.shipping);
+        }
+        if self.tail.is_some() {
+            s.field("tail", &self.tail);
         }
         s.field("devices", &self.devices)
             .field("nodes", &self.nodes)
@@ -581,6 +627,7 @@ mod tests {
             recovery: None,
             coherence: None,
             shipping: None,
+            tail: None,
             nodes: Vec::new(),
             devices: vec![DeviceReport {
                 name: "db".into(),
@@ -631,6 +678,28 @@ mod tests {
         // The two renderings differ only by the shipping section: stripping
         // it restores the data-sharing form field for field.
         assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn tail_section_renders_only_when_present() {
+        let mut r = dummy_report();
+        let without = format!("{r:#?}");
+        assert!(!without.contains("tail"));
+        let mut sketch = QuantileSketch::new(64);
+        for i in 0..1000 {
+            sketch.insert(i as f64);
+        }
+        r.tail = Some(TailLatencyReport::from_sketch(&sketch));
+        let with = format!("{r:#?}");
+        assert!(with.contains("tail"));
+        assert!(with.contains("p999"));
+        assert!(with.contains("rank_error_bound"));
+        assert!(with.len() > without.len());
+        let tail = r.tail.unwrap();
+        assert_eq!(tail.count, 1000);
+        assert_eq!(tail.max, 999.0);
+        assert!(tail.p50 <= tail.p95 && tail.p95 <= tail.p99);
+        assert!(tail.p99 <= tail.p999 && tail.p999 <= tail.max);
     }
 
     #[test]

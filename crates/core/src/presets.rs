@@ -35,7 +35,7 @@ use storage::{DeviceSpec, DiskUnitKind, DiskUnitParams, IoSchedulerParams, NvemP
 
 use crate::config::{
     Architecture, CmParams, CoherenceParams, ForcePolicy, LogAllocation, LogTruncation, NodeParams,
-    ParallelismParams, PartitioningParams, RecoveryParams, SimulationConfig,
+    ParallelismParams, PartitioningParams, RecoveryParams, SimulationConfig, WorkloadParams,
 };
 
 /// Index of the database disk unit in every preset that uses disks.
@@ -199,6 +199,7 @@ pub fn debit_credit_config(storage: DebitCreditStorage, arrival_rate_tps: f64) -
         parallelism: ParallelismParams::default(),
         coherence: CoherenceParams::default(),
         io_scheduler: IoSchedulerParams::default(),
+        workload: WorkloadParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,
@@ -559,6 +560,7 @@ pub fn trace_config(
         parallelism: ParallelismParams::default(),
         coherence: CoherenceParams::default(),
         io_scheduler: IoSchedulerParams::default(),
+        workload: WorkloadParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,
@@ -648,6 +650,7 @@ pub fn contention_config(
         parallelism: ParallelismParams::default(),
         coherence: CoherenceParams::default(),
         io_scheduler: IoSchedulerParams::default(),
+        workload: WorkloadParams::default(),
         arrival_rate_tps,
         warmup_ms: 3_000.0,
         measure_ms: 20_000.0,

@@ -17,6 +17,7 @@
 use simkernel::SimRng;
 
 use crate::database::{Database, PartitionId, PartitionSpec};
+use crate::hotspot::{HotSpotParams, HotSpotSampler};
 use crate::types::{AccessMode, ObjectRef, TransactionTemplate, WorkloadGenerator};
 
 /// Parameters of the Debit-Credit workload (defaults follow Table 4.1).
@@ -108,6 +109,9 @@ pub struct DebitCreditGenerator {
     config: DebitCreditConfig,
     database: Database,
     partitions: DebitCreditPartitions,
+    /// When set, the ACCOUNT record is drawn from a Zipfian hot-spot curve
+    /// over all accounts instead of the branch-local K % rule.
+    account_hot_spot: Option<HotSpotSampler>,
 }
 
 impl DebitCreditGenerator {
@@ -159,6 +163,7 @@ impl DebitCreditGenerator {
                 account,
                 history,
             },
+            account_hot_spot: None,
         }
     }
 
@@ -224,10 +229,13 @@ impl WorkloadGenerator for DebitCreditGenerator {
         let branch = rng.below(cfg.num_branches);
         let teller_in_branch = rng.below(cfg.tellers_per_branch());
 
-        // ACCOUNT selection: K% within the selected branch, the rest anywhere
-        // else in the database.
+        // ACCOUNT selection.  Hot-spot mode replaces the paper's branch-local
+        // K % rule with a Zipfian popularity curve over all accounts — the
+        // access pattern of millions of users hitting a handful of hot rows.
         let accounts_per_branch = cfg.accounts_per_branch();
-        let account = if rng.chance(cfg.k_same_branch_percent / 100.0) {
+        let account = if let Some(hot) = &self.account_hot_spot {
+            hot.sample(rng)
+        } else if rng.chance(cfg.k_same_branch_percent / 100.0) {
             branch * accounts_per_branch + rng.below(accounts_per_branch)
         } else {
             // An account of another branch.
@@ -277,6 +285,10 @@ impl WorkloadGenerator for DebitCreditGenerator {
 
     fn total_pages(&self) -> u64 {
         self.database.total_pages()
+    }
+
+    fn apply_hot_spot(&mut self, params: HotSpotParams) {
+        self.account_hot_spot = Some(HotSpotSampler::new(self.config.num_accounts, params));
     }
 }
 
@@ -392,5 +404,45 @@ mod tests {
         let g = DebitCreditGenerator::new(DebitCreditConfig::scaled_down(1000));
         assert_eq!(g.num_tx_types(), 1);
         assert_eq!(g.name(), "debit-credit");
+    }
+
+    #[test]
+    fn hot_spot_mode_concentrates_account_accesses() {
+        let cfg = DebitCreditConfig::scaled_down(1000);
+        let num_accounts = cfg.num_accounts;
+        let mut g = DebitCreditGenerator::new(cfg);
+        let account_first = g.database().partition(g.partitions().account).object(0).0;
+        g.apply_hot_spot(crate::hotspot::HotSpotParams::new(0.9, 0.1));
+        let mut rng = SimRng::seed_from(6);
+        let n = 5_000;
+        let hot_cut = num_accounts / 10;
+        let mut hot = 0usize;
+        for _ in 0..n {
+            let t = g.next_transaction(&mut rng).unwrap();
+            let account = t.refs[0].object.0 - account_first;
+            assert!(account < num_accounts);
+            if account < hot_cut {
+                hot += 1;
+            }
+        }
+        let share = hot as f64 / n as f64;
+        // 90% of accesses fall in the hottest 10% of accounts.
+        assert!((share - 0.9).abs() < 0.02, "hot share {share}");
+    }
+
+    #[test]
+    fn hot_spot_mode_keeps_transaction_shape() {
+        let mut g = DebitCreditGenerator::new(DebitCreditConfig::scaled_down(1000));
+        g.apply_hot_spot(crate::hotspot::HotSpotParams::new(0.5, 0.2));
+        let parts = g.partitions();
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..100 {
+            let t = g.next_transaction(&mut rng).unwrap();
+            assert_eq!(t.len(), 4);
+            assert_eq!(t.refs[0].partition, parts.account);
+            assert_eq!(t.refs[1].partition, parts.history);
+            assert_eq!(t.refs[2].partition, parts.teller);
+            assert_eq!(t.refs[3].partition, parts.branch);
+        }
     }
 }

@@ -15,6 +15,7 @@
 
 pub mod database;
 pub mod debit_credit;
+pub mod hotspot;
 pub mod reference;
 pub mod sharding;
 pub mod synthetic;
@@ -23,6 +24,7 @@ pub mod types;
 
 pub use database::{Database, Partition, PartitionId, Subpartition};
 pub use debit_credit::{DebitCreditConfig, DebitCreditGenerator};
+pub use hotspot::{HotSpotParams, HotSpotSampler};
 pub use reference::ReferenceMatrix;
 pub use sharding::{PartitionMap, PartitionScheme};
 pub use synthetic::{SyntheticWorkload, TransactionTypeSpec};

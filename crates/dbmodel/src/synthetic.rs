@@ -11,6 +11,7 @@
 use simkernel::SimRng;
 
 use crate::database::Database;
+use crate::hotspot::{HotSpotParams, HotSpotSampler};
 use crate::reference::ReferenceMatrix;
 use crate::types::{AccessMode, ObjectRef, TransactionTemplate, TxTypeId, WorkloadGenerator};
 
@@ -79,6 +80,9 @@ pub struct SyntheticWorkload {
     database: Database,
     tx_types: Vec<TransactionTypeSpec>,
     matrix: ReferenceMatrix,
+    /// Per-partition hot-spot samplers; when set they replace the
+    /// sub-partition object draw (the partition mix is unchanged).
+    hot_spot: Option<Vec<HotSpotSampler>>,
 }
 
 impl SyntheticWorkload {
@@ -111,6 +115,16 @@ impl SyntheticWorkload {
             database,
             tx_types,
             matrix,
+            hot_spot: None,
+        }
+    }
+
+    /// Samples a local object index of `partition`: from the hot-spot curve
+    /// when skew is active, from the sub-partition model otherwise.
+    fn sample_local(&self, partition: usize, rng: &mut SimRng) -> u64 {
+        match &self.hot_spot {
+            Some(samplers) => samplers[partition].sample(rng),
+            None => self.database.partition(partition).sample_object(rng),
         }
     }
 
@@ -153,8 +167,8 @@ impl SyntheticWorkload {
             // Sequential transactions: all accesses to one partition, starting
             // at a sampled object and following its successors (§3.1).
             let partition = self.matrix.sample_partition(tx_type, rng);
+            let start = self.sample_local(partition, rng);
             let p = self.database.partition(partition);
-            let start = p.sample_object(rng);
             for i in 0..size {
                 let local = (start + i) % p.num_objects();
                 let mode = if rng.chance(write_prob) {
@@ -172,8 +186,8 @@ impl SyntheticWorkload {
         } else {
             for _ in 0..size {
                 let partition = self.matrix.sample_partition(tx_type, rng);
+                let local = self.sample_local(partition, rng);
                 let p = self.database.partition(partition);
-                let local = p.sample_object(rng);
                 let mode = if rng.chance(write_prob) {
                     AccessMode::Write
                 } else {
@@ -207,6 +221,15 @@ impl WorkloadGenerator for SyntheticWorkload {
 
     fn total_pages(&self) -> u64 {
         self.database.total_pages()
+    }
+
+    fn apply_hot_spot(&mut self, params: HotSpotParams) {
+        let samplers = self
+            .database
+            .partitions()
+            .map(|p| HotSpotSampler::new(p.num_objects(), params))
+            .collect();
+        self.hot_spot = Some(samplers);
     }
 }
 
@@ -329,6 +352,28 @@ mod tests {
         assert_eq!(w.name(), "test");
         assert_eq!(w.num_tx_types(), 2);
         assert!(w.next_transaction(&mut rng).is_some());
+    }
+
+    #[test]
+    fn hot_spot_mode_skews_object_draws() {
+        let mut w = simple_workload();
+        w.apply_hot_spot(crate::hotspot::HotSpotParams::new(0.9, 0.1));
+        let mut rng = SimRng::seed_from(7);
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for _ in 0..2000 {
+            let t = w.generate_of_type(0, &mut rng);
+            for r in &t.refs {
+                // Type 0 only touches partition P1 (1000 objects, first
+                // object id 0): the hottest 10% are object ids 0..100.
+                total += 1;
+                if r.object.0 < 100 {
+                    hot += 1;
+                }
+            }
+        }
+        let share = hot as f64 / total as f64;
+        assert!((share - 0.9).abs() < 0.03, "hot share {share}");
     }
 
     #[test]

@@ -123,6 +123,16 @@ pub trait WorkloadGenerator {
     fn total_pages(&self) -> u64 {
         0
     }
+
+    /// Switches the generator into Zipfian hot-spot mode (see
+    /// [`crate::hotspot::HotSpotParams`]).  Called once before the run starts,
+    /// and only with *active* parameters — generators that do not support
+    /// skew (e.g. trace replay, whose accesses are fixed) keep the default
+    /// no-op.  Implementations must leave their draw sequences untouched
+    /// until this is called, so runs without skew stay byte-identical.
+    fn apply_hot_spot(&mut self, params: crate::hotspot::HotSpotParams) {
+        let _ = params;
+    }
 }
 
 #[cfg(test)]

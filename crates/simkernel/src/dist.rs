@@ -232,6 +232,120 @@ impl Zipf {
     }
 }
 
+/// A cyclic piecewise-constant arrival-rate function.
+///
+/// Segments are `(duration_ms, rate_per_second)` pairs; the pattern repeats
+/// forever.  This is the substrate for time-varying (non-homogeneous) Poisson
+/// arrivals: the engine draws a unit exponential `e` and asks for the earliest
+/// time `T` with `∫ rate(s)/1000 ds = e` past the current clock — the standard
+/// inversion method, exact for piecewise-constant rates.
+#[derive(Debug, Clone)]
+pub struct PiecewiseRate {
+    /// `(duration_ms, rate_per_second)` per segment.
+    segments: Vec<(f64, f64)>,
+    /// Sum of segment durations (one cycle, ms).
+    cycle_ms: f64,
+    /// Expected events per cycle (`Σ duration/1000 · rate`).
+    events_per_cycle: f64,
+}
+
+impl PiecewiseRate {
+    /// Builds a cyclic rate function.  Every duration must be positive and
+    /// finite, every rate non-negative and finite, and at least one segment
+    /// must have a positive rate (otherwise no arrival ever happens and the
+    /// inversion would not terminate).
+    pub fn new(segments: Vec<(f64, f64)>) -> Self {
+        assert!(!segments.is_empty(), "rate function needs segments");
+        for &(dur, rate) in &segments {
+            assert!(
+                dur.is_finite() && dur > 0.0,
+                "segment durations must be positive and finite"
+            );
+            assert!(
+                rate.is_finite() && rate >= 0.0,
+                "segment rates must be non-negative and finite"
+            );
+        }
+        let cycle_ms: f64 = segments.iter().map(|s| s.0).sum();
+        let events_per_cycle: f64 = segments.iter().map(|s| s.0 / 1000.0 * s.1).sum();
+        assert!(
+            events_per_cycle > 0.0,
+            "at least one segment must have a positive rate"
+        );
+        Self {
+            segments,
+            cycle_ms,
+            events_per_cycle,
+        }
+    }
+
+    /// Length of one cycle in milliseconds.
+    pub fn cycle_ms(&self) -> f64 {
+        self.cycle_ms
+    }
+
+    /// Instantaneous rate (events per second) at time `t_ms`.
+    pub fn rate_at(&self, t_ms: f64) -> f64 {
+        let mut phase = (t_ms % self.cycle_ms + self.cycle_ms) % self.cycle_ms;
+        for &(dur, rate) in &self.segments {
+            if phase < dur {
+                return rate;
+            }
+            phase -= dur;
+        }
+        // Only reachable through float round-off at the cycle boundary.
+        self.segments[self.segments.len() - 1].1
+    }
+
+    /// Expected number of events in `[0, t_ms]`.
+    pub fn cumulative(&self, t_ms: f64) -> f64 {
+        debug_assert!(t_ms >= 0.0);
+        let cycles = (t_ms / self.cycle_ms).floor();
+        let mut phase = t_ms - cycles * self.cycle_ms;
+        let mut acc = cycles * self.events_per_cycle;
+        for &(dur, rate) in &self.segments {
+            if phase <= 0.0 {
+                break;
+            }
+            acc += phase.min(dur) / 1000.0 * rate;
+            phase -= dur;
+        }
+        acc
+    }
+
+    /// Expected number of events in `[t0_ms, t1_ms]`.
+    pub fn expected_events(&self, t0_ms: f64, t1_ms: f64) -> f64 {
+        (self.cumulative(t1_ms) - self.cumulative(t0_ms)).max(0.0)
+    }
+
+    /// Earliest time `T` with `cumulative(T) >= target` — the inverse of the
+    /// cumulative expected-event function.  Zero-rate segments are skipped
+    /// (their integral is flat, so no arrival can land inside them).
+    fn invert(&self, target: f64) -> f64 {
+        let cycles = (target / self.events_per_cycle).floor();
+        let mut rem = target - cycles * self.events_per_cycle;
+        let mut t = cycles * self.cycle_ms;
+        for &(dur, rate) in &self.segments {
+            let cap = dur / 1000.0 * rate;
+            if rate > 0.0 && rem <= cap {
+                return t + rem / (rate / 1000.0);
+            }
+            rem -= cap;
+            t += dur;
+        }
+        // Float round-off pushed `rem` past the cycle; land on the boundary
+        // (the next call continues from there).
+        t
+    }
+
+    /// Absolute time of the next arrival after `t_ms`, given a fresh unit
+    /// exponential draw `e > 0` (non-homogeneous Poisson by inversion).
+    pub fn next_arrival_after(&self, t_ms: f64, e: f64) -> f64 {
+        debug_assert!(e > 0.0);
+        self.invert(self.cumulative(t_ms) + e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +440,82 @@ mod tests {
         }
         assert_eq!(z.len(), 50);
         assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn piecewise_rate_lookup_and_integral() {
+        // 1 s at 100/s, 1 s at 0/s, 2 s at 50/s, cyclic.
+        let p = PiecewiseRate::new(vec![(1000.0, 100.0), (1000.0, 0.0), (2000.0, 50.0)]);
+        assert_eq!(p.cycle_ms(), 4000.0);
+        assert_eq!(p.rate_at(500.0), 100.0);
+        assert_eq!(p.rate_at(1500.0), 0.0);
+        assert_eq!(p.rate_at(3999.0), 50.0);
+        assert_eq!(p.rate_at(4500.0), 100.0); // wraps
+        assert!((p.cumulative(1000.0) - 100.0).abs() < 1e-9);
+        assert!((p.cumulative(2000.0) - 100.0).abs() < 1e-9);
+        assert!((p.cumulative(4000.0) - 200.0).abs() < 1e-9);
+        assert!((p.expected_events(500.0, 4500.0) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piecewise_inversion_round_trips() {
+        let p = PiecewiseRate::new(vec![(300.0, 20.0), (700.0, 180.0), (500.0, 5.0)]);
+        for t in [0.0, 10.0, 299.0, 300.0, 999.0, 1400.0, 7321.5] {
+            for e in [0.001, 0.5, 3.0, 40.0] {
+                let next = p.next_arrival_after(t, e);
+                assert!(next > t, "arrival must advance: t={t} e={e} next={next}");
+                let integral = p.expected_events(t, next);
+                assert!(
+                    (integral - e).abs() < 1e-6,
+                    "t={t} e={e}: integral {integral}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn piecewise_arrivals_skip_zero_rate_segments() {
+        let p = PiecewiseRate::new(vec![(100.0, 10.0), (900.0, 0.0)]);
+        // An arrival requested from inside the dead zone lands in the next
+        // live segment.
+        let next = p.next_arrival_after(150.0, 0.25);
+        assert!(
+            (1000.0..1100.0).contains(&next),
+            "next arrival {next} should fall in the second cycle's live window"
+        );
+    }
+
+    #[test]
+    fn piecewise_empirical_rate_tracks_schedule() {
+        // Burst: 10× rate for the first 10% of each 1 s cycle.
+        let p = PiecewiseRate::new(vec![(100.0, 1000.0), (900.0, 100.0)]);
+        let mut rng = SimRng::seed_from(21);
+        let mut t = 0.0;
+        let mut in_burst = 0u64;
+        let mut total = 0u64;
+        while t < 200_000.0 {
+            t = p.next_arrival_after(t, rng.exponential(1.0));
+            total += 1;
+            if t % 1000.0 < 100.0 {
+                in_burst += 1;
+            }
+        }
+        // Expected share: 100 per cycle in the burst, 90 outside → 100/190.
+        let share = in_burst as f64 / total as f64;
+        assert!((share - 100.0 / 190.0).abs() < 0.02, "burst share {share}");
+        // Expected total: 190 per second over 200 s.
+        assert!((total as f64 - 38_000.0).abs() < 1500.0, "total {total}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn piecewise_rejects_zero_duration_segment() {
+        let _ = PiecewiseRate::new(vec![(0.0, 100.0), (1000.0, 50.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn piecewise_rejects_all_zero_rates() {
+        let _ = PiecewiseRate::new(vec![(1000.0, 0.0)]);
     }
 }

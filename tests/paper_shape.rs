@@ -18,7 +18,9 @@ use tpsim::presets::{
     log_allocation_config, recovery_config, shared_nothing_config, DebitCreditStorage, LogVariant,
     SecondLevel, LOG_UNIT,
 };
-use tpsim::{LogAllocation, Simulation, SimulationConfig, SimulationReport};
+use tpsim::{
+    LogAllocation, Simulation, SimulationConfig, SimulationReport, WorkloadParams, WorkloadSchedule,
+};
 use tpsim_bench::runner::{
     data_sharing_point, recovery_point, run_recovery_crash, run_sweep, shared_nothing_point,
     Family, RunSettings,
@@ -132,6 +134,56 @@ fn shared_nothing_sweep_is_byte_identical_in_parallel_and_serial() {
         assert_eq!(s.series, p.series);
         assert_eq!(s.report, p.report, "series {} diverged", s.series);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the workload-engine dimension (cheap, always run)
+// ---------------------------------------------------------------------------
+
+/// The fig10.x burst + hot-spot configuration used by the cheap determinism
+/// and golden tests below.
+fn fig10x_config() -> SimulationConfig {
+    let mut c = data_sharing_config(2, 2.0 * 60.0);
+    c.workload = WorkloadParams::skewed(0.9, 0.2);
+    c.workload.schedule = WorkloadSchedule::Burst {
+        period_ms: 1_000.0,
+        burst_fraction: 0.25,
+        burst_factor: 4.0,
+    };
+    c
+}
+
+#[test]
+fn shaped_workload_engine_is_deterministic_for_fixed_seed() {
+    // Satellite guarantee of the workload-engine PR: a time-varying arrival
+    // schedule plus hot-spot skew must reproduce the complete report —
+    // including the sketch-derived tail section — byte for byte.
+    let make = || {
+        let mut c = fig10x_config();
+        c.warmup_ms = 300.0;
+        c.measure_ms = 1_500.0;
+        c
+    };
+    let a = Simulation::new(make(), debit_credit_workload(200)).run();
+    let b = Simulation::new(make(), debit_credit_workload(200)).run();
+    assert_eq!(a, b, "same seed must reproduce the shaped-workload report");
+    let tail = a.tail.expect("shaped runs carry the tail section");
+    assert!(tail.count > 0);
+    assert!(tail.p50 <= tail.p95 && tail.p95 <= tail.p99);
+    assert!(tail.p99 <= tail.p999 && tail.p999 <= tail.max);
+}
+
+#[test]
+fn unshaped_runs_omit_the_tail_section() {
+    // The inverse gate: a default (constant-rate, unskewed) configuration
+    // must not carry the tail section, and its `{:#?}` rendering must not
+    // mention it — that is what keeps every pre-existing golden byte-exact.
+    let mut c = data_sharing_config(2, 120.0);
+    c.warmup_ms = 300.0;
+    c.measure_ms = 1_500.0;
+    let report = Simulation::new(c, debit_credit_workload(200)).run();
+    assert!(report.tail.is_none());
+    assert!(!format!("{report:#?}").contains("tail"));
 }
 
 // ---------------------------------------------------------------------------
@@ -279,6 +331,17 @@ fn golden_fig6x_crash_replay_report_is_byte_identical() {
         .simulate_crash_at(1_600.0)
         .run();
     assert_matches_golden("fig6x_crash_replay", &format!("{report:#?}\n"));
+}
+
+/// One fig10.x point: two nodes under the burst schedule with Zipf-skewed
+/// hot-spot accesses, including the sketch-derived tail-latency section.
+#[test]
+fn golden_fig10x_shaped_workload_report_is_byte_identical() {
+    let mut config = fig10x_config();
+    config.warmup_ms = 1_000.0;
+    config.measure_ms = 4_000.0;
+    let report = Simulation::new(config, debit_credit_workload(100)).run();
+    assert_matches_golden("fig10x_shaped_workload", &format!("{report:#?}\n"));
 }
 
 // ---------------------------------------------------------------------------

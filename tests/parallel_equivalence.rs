@@ -18,7 +18,7 @@ use tpsim::presets::{
     data_sharing_config, debit_credit_config, debit_credit_workload, recovery_config,
     shared_nothing_config, DebitCreditStorage,
 };
-use tpsim::{Simulation, SimulationConfig};
+use tpsim::{Simulation, SimulationConfig, WorkloadParams, WorkloadSchedule};
 
 /// Thread counts exercised against every configuration.  `1` routes through
 /// the sequential kernel (the parallel dispatch must be a no-op); the rest
@@ -94,6 +94,25 @@ fn fig7x_shared_nothing_report_is_thread_count_invariant() {
     config.warmup_ms = 1_000.0;
     config.measure_ms = 4_000.0;
     assert_thread_count_invariant("fig7.x/4-node shared-nothing", &config, 100, None);
+}
+
+/// The fig10.x shaped-workload point: a bursty arrival schedule (drawn by
+/// inverting the piecewise rate integral) plus hot-spot-skewed page
+/// accesses, with the per-node tail sketches merged into the report.  The
+/// schedule inversion and the sketch section must be thread-count invariant
+/// like every other report field.
+#[test]
+fn fig10x_shaped_workload_report_is_thread_count_invariant() {
+    let mut config = data_sharing_config(2, 2.0 * 60.0);
+    config.warmup_ms = 1_000.0;
+    config.measure_ms = 4_000.0;
+    config.workload = WorkloadParams::skewed(0.9, 0.2);
+    config.workload.schedule = WorkloadSchedule::Burst {
+        period_ms: 1_000.0,
+        burst_fraction: 0.25,
+        burst_factor: 4.0,
+    };
+    assert_thread_count_invariant("fig10.x/shaped-workload", &config, 100, None);
 }
 
 /// The fig6.x crash/replay point: checkpoints, a mid-run crash and the
